@@ -1,0 +1,33 @@
+//! Criterion bench regenerating **Figure 6** (isolated applications,
+//! all four schedulers). Each bench measures one application's complete
+//! four-policy comparison at Tiny scale; the measured output (the
+//! figure's data) is printed once per bench via the companion binary:
+//! `cargo run --release -p lams-bench --bin fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lams_core::{Experiment, PolicyKind};
+use lams_mpsoc::MachineConfig;
+use lams_workloads::{suite, Scale};
+
+fn bench_fig6(c: &mut Criterion) {
+    let machine = MachineConfig::paper_default();
+    let mut group = c.benchmark_group("fig6_isolated");
+    group.sample_size(10);
+    for app in suite::all(Scale::Tiny) {
+        let name = app.name.clone();
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let report = Experiment::isolated(black_box(&app), machine)
+                    .run_all(PolicyKind::ALL)
+                    .expect("simulation succeeds");
+                black_box(report.cycles(PolicyKind::LocalityMap))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench regenerating **Figure 7** (concurrent mixes
+//! `|T| = 1..6`, all four schedulers) at Tiny scale. The figure's data
+//! comes from the companion binary:
+//! `cargo run --release -p lams-bench --bin fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lams_core::{Experiment, PolicyKind};
+use lams_mpsoc::MachineConfig;
+use lams_workloads::{suite, Scale};
+
+fn bench_fig7(c: &mut Criterion) {
+    let machine = MachineConfig::paper_default();
+    let mut group = c.benchmark_group("fig7_concurrent");
+    group.sample_size(10);
+    for t in 1..=6usize {
+        let mix = suite::mix(t, Scale::Tiny);
+        group.bench_with_input(BenchmarkId::new("mix", t), &mix, |b, mix| {
+            b.iter(|| {
+                let report = Experiment::concurrent(black_box(mix), machine)
+                    .run_all(PolicyKind::ALL)
+                    .expect("simulation succeeds");
+                black_box(report.cycles(PolicyKind::LocalityMap))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Micro-benchmarks of the substrates: cache simulation throughput,
+//! Presburger footprint computation, sharing-matrix construction, trace
+//! generation and the scheduling engine, plus the Figure 5 re-layout
+//! pass. These quantify the cost of the machinery itself (not paper
+//! results).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lams_core::{execute, LocalityPolicy, SharingMatrix};
+use lams_layout::{relayout_pass, AdjacentArrays, ConflictMatrix, Layout};
+use lams_mpsoc::{Cache, CacheConfig, MachineConfig};
+use lams_workloads::{suite, Scale, Workload};
+use lams_procgraph::ProcessId;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    const N: u64 = 10_000;
+    group.throughput(Throughput::Elements(N));
+    // Strided sweep keeping ~50% hit rate.
+    let addrs: Vec<u64> = (0..N).map(|i| (i * 52) % 32768).collect();
+    for (label, classify) in [("access_plain", false), ("access_classified", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cache = Cache::new(CacheConfig::paper_default(), classify);
+                for &a in &addrs {
+                    black_box(cache.access(a));
+                }
+                cache.stats().misses
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharing");
+    for app in [suite::usonic(Scale::Small), suite::med_im04(Scale::Small)] {
+        let name = format!("matrix_{}", app.name);
+        let w = Workload::single(app).expect("valid app");
+        group.bench_function(&name, |b| {
+            b.iter(|| black_box(SharingMatrix::from_workload(&w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_footprints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("presburger");
+    let app = suite::radar(Scale::Small);
+    group.bench_function("workload_build_radar", |b| {
+        b.iter(|| black_box(Workload::single(app.clone()).expect("valid app")))
+    });
+    group.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    let w = Workload::single(suite::mxm(Scale::Small)).expect("valid app");
+    let layout = Layout::linear(w.arrays());
+    let p = ProcessId::new(0);
+    group.throughput(Throughput::Elements(w.trace_len(p)));
+    group.bench_function("generate_mxm_s1", |b| {
+        b.iter(|| w.trace(p, &layout).map(|op| op.addr().unwrap_or(0)).sum::<u64>())
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    let w = Workload::single(suite::shape(Scale::Small)).expect("valid app");
+    let layout = Layout::linear(w.arrays());
+    let sharing = SharingMatrix::from_workload(&w);
+    let machine = MachineConfig::paper_default();
+    group.bench_function("ls_shape_small", |b| {
+        b.iter(|| {
+            let mut p = LocalityPolicy::new(sharing.clone(), machine.num_cores);
+            black_box(execute(&w, &layout, &mut p, machine).expect("runs").makespan_cycles)
+        })
+    });
+    group.finish();
+}
+
+fn bench_relayout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relayout");
+    // A 32-array conflict matrix with dense adjacency.
+    let n = 32usize;
+    let mut m = ConflictMatrix::new(n);
+    let mut adj = AdjacentArrays::new();
+    for x in 0..n {
+        for y in (x + 1)..n {
+            let vx = ((x * 31 + y * 17) % 100) as u64;
+            m.set(
+                lams_layout::ArrayId::new(x as u32),
+                lams_layout::ArrayId::new(y as u32),
+                vx,
+            );
+            adj.insert(
+                lams_layout::ArrayId::new(x as u32),
+                lams_layout::ArrayId::new(y as u32),
+            );
+        }
+    }
+    group.bench_function("figure5_pass_32_arrays", |b| {
+        b.iter(|| black_box(relayout_pass(&m, &adj, None)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_sharing,
+    bench_footprints,
+    bench_trace,
+    bench_engine,
+    bench_relayout
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Minimal command-line parsing for the harness binaries (no external
+//! dependencies needed for `--scale`-style flags).
+
+use lams_workloads::Scale;
+
+/// Extracts `--scale tiny|small|paper` from raw args (default `small`).
+pub fn parse_scale(args: &[String]) -> Scale {
+    match flag_value(args, "--scale").map(str::to_ascii_lowercase).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("paper") => Scale::Paper,
+        _ => Scale::Small,
+    }
+}
+
+/// Extracts `--name value` as a usize, with a default.
+pub fn parse_usize_flag(args: &[String], name: &str, default: usize) -> usize {
+    flag_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(parse_scale(&argv(&["--scale", "tiny"])), Scale::Tiny);
+        assert_eq!(parse_scale(&argv(&["--scale", "paper"])), Scale::Paper);
+        assert_eq!(parse_scale(&argv(&["--scale", "SMALL"])), Scale::Small);
+        assert_eq!(parse_scale(&argv(&[])), Scale::Small);
+    }
+
+    #[test]
+    fn usize_flag() {
+        assert_eq!(parse_usize_flag(&argv(&["--cores", "4"]), "--cores", 8), 4);
+        assert_eq!(parse_usize_flag(&argv(&[]), "--cores", 8), 8);
+        assert_eq!(
+            parse_usize_flag(&argv(&["--cores", "x"]), "--cores", 8),
+            8
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Ablation study of the design choices called out in DESIGN.md (A1):
+//!
+//! * LS *initial-round thinning* on/off — the Figure 3 initialization
+//!   that spreads mutually-sharing candidates across cores,
+//! * sharing-matrix granularity: elements (the paper) vs cache lines,
+//! * the LSM data mapping with the paper's fixed mean threshold vs the
+//!   harness's validated threshold ladder.
+//!
+//! ```text
+//! cargo run --release -p lams-bench --bin ablation -- [--scale tiny|small|paper] [--tasks 4]
+//! ```
+
+use lams_bench::{csv_table, parse_scale, parse_usize_flag};
+use lams_core::{execute, Experiment, LocalityPolicy, PolicyKind, SharingMatrix};
+use lams_layout::Layout;
+use lams_mpsoc::MachineConfig;
+use lams_workloads::{suite, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+    let tasks = parse_usize_flag(&args, "--tasks", 4).clamp(1, 6);
+    let machine = MachineConfig::paper_default();
+    let workload = Workload::concurrent(suite::mix(tasks, scale)).expect("valid mix");
+    let layout = Layout::linear(workload.arrays());
+
+    println!("Ablation — |T|={tasks}, scale {scale}, {machine}");
+    let mut rows = Vec::new();
+
+    // A1a: initial-round thinning.
+    let sharing = SharingMatrix::from_workload(&workload);
+    for (label, skip) in [("ls_with_thinning", false), ("ls_no_thinning", true)] {
+        let mut p = LocalityPolicy::new(sharing.clone(), machine.num_cores);
+        if skip {
+            p = p.without_initial_thinning();
+        }
+        let r = execute(&workload, &layout, &mut p, machine).expect("runs");
+        rows.push(format!(
+            "{label},{},{},{}",
+            r.makespan_cycles, r.machine.cache.misses, r.machine.cache.conflict_misses
+        ));
+    }
+
+    // A1b: sharing granularity (elements vs 32-byte cache lines).
+    let line_sharing = SharingMatrix::from_workload_lines(&workload, &layout, 32);
+    for (label, m) in [("ls_element_sharing", &sharing), ("ls_line_sharing", &line_sharing)] {
+        let mut p = LocalityPolicy::new(m.clone(), machine.num_cores);
+        let r = execute(&workload, &layout, &mut p, machine).expect("runs");
+        rows.push(format!(
+            "{label},{},{},{}",
+            r.makespan_cycles, r.machine.cache.misses, r.machine.cache.conflict_misses
+        ));
+    }
+
+    // A1c: LSM threshold policy — the paper's fixed mean vs the ladder.
+    let exp = Experiment::for_workload(workload.clone(), machine);
+    let (ladder, art) = exp.run_lsm().expect("runs");
+    rows.push(format!(
+        "lsm_ladder,{},{},{}",
+        ladder.makespan_cycles, ladder.machine.cache.misses, ladder.machine.cache.conflict_misses
+    ));
+    let mean = art.conflicts.mean_all_pairs();
+    let (fixed_run, _) = exp
+        .clone()
+        .with_relayout_threshold(mean)
+        .run_lsm()
+        .expect("runs");
+    rows.push(format!(
+        "lsm_fixed_mean,{},{},{}",
+        fixed_run.makespan_cycles,
+        fixed_run.machine.cache.misses,
+        fixed_run.machine.cache.conflict_misses
+    ));
+    // Baselines for reference.
+    for kind in [PolicyKind::Random, PolicyKind::Locality] {
+        let r = exp.run(kind).expect("runs");
+        rows.push(format!(
+            "baseline_{},{},{},{}",
+            kind,
+            r.makespan_cycles,
+            r.machine.cache.misses,
+            r.machine.cache.conflict_misses
+        ));
+    }
+
+    println!(
+        "{}",
+        csv_table("variant,cycles,misses,conflict_misses", &rows)
+    );
+}

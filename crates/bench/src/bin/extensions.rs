@@ -1,0 +1,68 @@
+//! The paper's Section 6 future work, realized: compare the
+//! locality-aware scheduler against *additional* OS scheduling
+//! strategies on the same benchmarks.
+//!
+//! Policies compared (beyond the paper's four): CPS — critical-path list
+//! scheduling (makespan-oriented, locality-oblivious), and TAS —
+//! task-affinity scheduling (coarse application-level locality, no
+//! sharing analysis).
+//!
+//! ```text
+//! cargo run --release -p lams-bench --bin extensions -- [--scale tiny|small|paper]
+//! ```
+
+use lams_bench::{csv_table, parse_scale};
+use lams_core::{
+    execute, CriticalPathPolicy, EngineConfig, LocalityPolicy, Policy, RandomPolicy,
+    RoundRobinPolicy, SharingMatrix, TaskAffinityPolicy,
+};
+use lams_layout::Layout;
+use lams_mpsoc::MachineConfig;
+use lams_workloads::{suite, Workload};
+
+fn run_all(w: &Workload, machine: MachineConfig, rows: &mut Vec<String>, label: &str) {
+    let layout = Layout::linear(w.arrays());
+    let sharing = SharingMatrix::from_workload(w);
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(RandomPolicy::new(0)),
+        Box::new(RoundRobinPolicy::default()),
+        Box::new(CriticalPathPolicy::new(w)),
+        Box::new(TaskAffinityPolicy::new(w)),
+        Box::new(LocalityPolicy::new(sharing, machine.num_cores)),
+    ];
+    for p in policies.iter_mut() {
+        let name = p.name().to_owned();
+        let r = execute(w, &layout, p.as_mut(), EngineConfig::from(machine)).expect("runs");
+        rows.push(format!(
+            "{label},{name},{},{:.6},{:.3},{}",
+            r.makespan_cycles,
+            r.seconds,
+            r.machine.cache.hit_rate() * 100.0,
+            r.machine.cache.misses
+        ));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+    let machine = MachineConfig::paper_default();
+    println!("Extension comparison (paper §6 future work) — scale {scale}, {machine}");
+    println!("RS=random RRS=round-robin CPS=critical-path TAS=task-affinity LS=locality-aware");
+
+    let mut rows = Vec::new();
+    for app in suite::all(scale) {
+        let label = app.name.clone();
+        let w = Workload::single(app).expect("valid app");
+        run_all(&w, machine, &mut rows, &label);
+    }
+    for t in [2usize, 4, 6] {
+        let w = Workload::concurrent(suite::mix(t, scale)).expect("valid mix");
+        run_all(&w, machine, &mut rows, &format!("mix|T|={t}"));
+    }
+
+    println!(
+        "{}",
+        csv_table("workload,policy,cycles,seconds,hit_rate_pct,misses", &rows)
+    );
+}

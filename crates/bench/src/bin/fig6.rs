@@ -1,0 +1,69 @@
+//! Regenerates **Figure 6** of the paper: execution times of the six
+//! applications scheduled *in isolation* under RS, RRS, LS and LSM.
+//!
+//! ```text
+//! cargo run --release -p lams-bench --bin fig6 -- [--scale tiny|small|paper]
+//! ```
+//!
+//! Prints a CSV block (one row per application x policy) followed by an
+//! ASCII bar chart shaped like the paper's figure.
+
+use lams_bench::{bar_chart, csv_table, parse_scale};
+use lams_core::{Experiment, PolicyKind};
+use lams_mpsoc::MachineConfig;
+use lams_workloads::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+    let machine = MachineConfig::paper_default();
+
+    println!("Figure 6 reproduction — isolated execution, scale {scale}, {machine}");
+
+    let mut rows = Vec::new();
+    let mut series: Vec<(&str, Vec<f64>)> = PolicyKind::ALL
+        .iter()
+        .map(|k| (k.abbrev(), Vec::new()))
+        .collect();
+    let apps = suite::all(scale);
+    let labels: Vec<&str> = suite::NAMES.to_vec();
+
+    for app in &apps {
+        let report = Experiment::isolated(app, machine)
+            .run_all(PolicyKind::ALL)
+            .expect("simulation succeeds");
+        for (si, &kind) in PolicyKind::ALL.iter().enumerate() {
+            let o = report.outcome(kind).expect("ran");
+            series[si].1.push(o.result.seconds);
+            let c = &o.result.machine.cache;
+            rows.push(format!(
+                "{},{},{},{:.6},{:.3},{},{},{}",
+                app.name,
+                kind,
+                o.result.makespan_cycles,
+                o.result.seconds,
+                c.hit_rate() * 100.0,
+                c.misses,
+                c.conflict_misses,
+                o.remapped_arrays,
+            ));
+        }
+    }
+
+    println!(
+        "{}",
+        csv_table(
+            "app,policy,cycles,seconds,hit_rate_pct,misses,conflict_misses,remapped",
+            &rows
+        )
+    );
+    println!(
+        "{}",
+        bar_chart(
+            "Figure 6: execution time, applications in isolation",
+            &labels,
+            &series,
+            "s"
+        )
+    );
+}

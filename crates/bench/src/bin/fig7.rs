@@ -1,0 +1,68 @@
+//! Regenerates **Figure 7** of the paper: overall completion times of
+//! *concurrent* application mixes `|T| = 1..6` under RS, RRS, LS, LSM.
+//!
+//! `|T| = t` runs the first `t` Table 1 applications concurrently
+//! (Med-Im04; +MxM; +Radar; …), exactly the paper's cumulative setup.
+//!
+//! ```text
+//! cargo run --release -p lams-bench --bin fig7 -- [--scale tiny|small|paper]
+//! ```
+
+use lams_bench::{bar_chart, csv_table, parse_scale};
+use lams_core::{Experiment, PolicyKind};
+use lams_mpsoc::MachineConfig;
+use lams_workloads::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+    let machine = MachineConfig::paper_default();
+
+    println!("Figure 7 reproduction — concurrent execution, scale {scale}, {machine}");
+
+    let mut rows = Vec::new();
+    let mut series: Vec<(&str, Vec<f64>)> = PolicyKind::ALL
+        .iter()
+        .map(|k| (k.abbrev(), Vec::new()))
+        .collect();
+    let labels = ["|T|=1", "|T|=2", "|T|=3", "|T|=4", "|T|=5", "|T|=6"];
+
+    for t in 1..=6usize {
+        let mix = suite::mix(t, scale);
+        let report = Experiment::concurrent(&mix, machine)
+            .run_all(PolicyKind::ALL)
+            .expect("simulation succeeds");
+        for (si, &kind) in PolicyKind::ALL.iter().enumerate() {
+            let o = report.outcome(kind).expect("ran");
+            series[si].1.push(o.result.seconds);
+            let c = &o.result.machine.cache;
+            rows.push(format!(
+                "{t},{},{},{:.6},{:.3},{},{},{}",
+                kind,
+                o.result.makespan_cycles,
+                o.result.seconds,
+                c.hit_rate() * 100.0,
+                c.misses,
+                c.conflict_misses,
+                o.remapped_arrays,
+            ));
+        }
+    }
+
+    println!(
+        "{}",
+        csv_table(
+            "num_tasks,policy,cycles,seconds,hit_rate_pct,misses,conflict_misses,remapped",
+            &rows
+        )
+    );
+    println!(
+        "{}",
+        bar_chart(
+            "Figure 7: completion time, concurrent application mixes",
+            &labels,
+            &series,
+            "s"
+        )
+    );
+}

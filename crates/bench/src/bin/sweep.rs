@@ -1,0 +1,79 @@
+//! Sensitivity sweep — backs the paper's claim that "our savings are
+//! consistent across several simulation parameters" (Section 1/4).
+//!
+//! Sweeps cache size, associativity, core count and the RRS quantum on a
+//! fixed concurrent mix, reporting all four schedulers at every point.
+//!
+//! ```text
+//! cargo run --release -p lams-bench --bin sweep -- [--scale tiny|small|paper] [--tasks 4]
+//! ```
+
+use lams_bench::{csv_table, parse_scale, parse_usize_flag};
+use lams_core::{Experiment, PolicyKind};
+use lams_mpsoc::{CacheConfig, MachineConfig};
+use lams_workloads::suite;
+
+fn run_point(machine: MachineConfig, mix: &[lams_workloads::AppSpec], quantum: u64) -> Vec<String> {
+    let report = Experiment::concurrent(mix, machine)
+        .with_quantum(quantum)
+        .run_all(PolicyKind::ALL)
+        .expect("simulation succeeds");
+    PolicyKind::ALL
+        .iter()
+        .map(|&k| {
+            let o = report.outcome(k).expect("ran");
+            format!(
+                "{},{},{},{},{},{},{},{:.6},{},{},{}",
+                machine.cache.size_bytes / 1024,
+                machine.cache.associativity,
+                machine.num_cores,
+                quantum,
+                k,
+                o.result.makespan_cycles,
+                o.result.machine.cache.misses,
+                o.result.seconds,
+                o.result.machine.cache.conflict_misses,
+                o.result.machine.cache.capacity_misses,
+                o.remapped_arrays,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+    let tasks = parse_usize_flag(&args, "--tasks", 4).clamp(1, 6);
+    let mix = suite::mix(tasks, scale);
+    let base = MachineConfig::paper_default();
+
+    println!("Sensitivity sweep — |T|={tasks}, scale {scale} (baseline {base})");
+    let header = "cache_kb,assoc,cores,quantum,policy,cycles,misses,seconds,conflict_misses,capacity_misses,remapped";
+    let mut rows = Vec::new();
+
+    // Cache size sweep (paper associativity).
+    for kb in [4u64, 8, 16, 32] {
+        let cache = CacheConfig::new(kb * 1024, 2, 32).expect("valid cache");
+        rows.push(format!("# cache size {kb} KB"));
+        rows.extend(run_point(base.with_cache(cache), &mix, 10_000));
+    }
+    // Associativity sweep (paper size). Direct-mapped is the
+    // conflict-dominated regime where the LSM data mapping matters most.
+    for assoc in [1u64, 2, 4, 8] {
+        let cache = CacheConfig::new(8 * 1024, assoc, 32).expect("valid cache");
+        rows.push(format!("# associativity {assoc}"));
+        rows.extend(run_point(base.with_cache(cache), &mix, 10_000));
+    }
+    // Core count sweep.
+    for cores in [2usize, 4, 8, 16] {
+        rows.push(format!("# cores {cores}"));
+        rows.extend(run_point(base.with_cores(cores), &mix, 10_000));
+    }
+    // RRS quantum sweep.
+    for quantum in [1_000u64, 5_000, 10_000, 50_000, 200_000] {
+        rows.push(format!("# quantum {quantum}"));
+        rows.extend(run_point(base, &mix, quantum));
+    }
+
+    println!("{}", csv_table(header, &rows));
+}

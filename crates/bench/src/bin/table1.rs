@@ -1,0 +1,49 @@
+//! Regenerates **Table 1** of the paper: the application suite, with the
+//! structural properties this reproduction gives each member.
+//!
+//! ```text
+//! cargo run --release -p lams-bench --bin table1 -- [--scale tiny|small|paper]
+//! ```
+
+use lams_bench::parse_scale;
+use lams_core::SharingMatrix;
+use lams_workloads::{suite, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+
+    println!("Table 1 reproduction — applications used in this study (scale {scale})");
+    println!(
+        "{:<10} {:<42} {:>6} {:>7} {:>6} {:>7} {:>9}",
+        "app", "description", "procs", "arrays", "edges", "levels", "sharing%"
+    );
+    for app in suite::all(scale) {
+        let name = app.name.clone();
+        let desc = app.description.clone();
+        let w = Workload::single(app).expect("valid suite app");
+        let m = SharingMatrix::from_workload(&w);
+        let n = w.num_processes();
+        let mut sharing_pairs = 0usize;
+        for p in w.process_ids() {
+            for q in w.process_ids() {
+                if p < q && m.get(p, q) > 0 {
+                    sharing_pairs += 1;
+                }
+            }
+        }
+        let total_pairs = n * (n - 1) / 2;
+        println!(
+            "{:<10} {:<42} {:>6} {:>7} {:>6} {:>7} {:>8.1}%",
+            name,
+            desc,
+            n,
+            w.arrays().len(),
+            w.epg().num_edges(),
+            w.epg().levels().len(),
+            100.0 * sharing_pairs as f64 / total_pairs as f64,
+        );
+    }
+    println!();
+    println!("Paper: process counts vary between 9 and 37 across the suite.");
+}

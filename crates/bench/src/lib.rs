@@ -1,0 +1,15 @@
+//! Shared helpers for the LAMS benchmark harness.
+//!
+//! The real content of this crate is its binaries (`table1`, `table2`,
+//! `fig2a`, `fig6`, `fig7`, `sweep`, `ablation`) and criterion benches —
+//! each regenerates one table or figure of *Kandemir & Chen, DATE 2005*.
+//! See EXPERIMENTS.md at the workspace root for the index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod render;
+
+pub use args::{parse_scale, parse_usize_flag};
+pub use render::{bar_chart, csv_table};

@@ -1,0 +1,118 @@
+//! CPS — critical-path list scheduling (an extension baseline).
+//!
+//! The paper's future work proposes comparing the locality-aware
+//! scheduler "to other OS scheduling strategies as well using our
+//! benchmarks" (Section 6). This is the classic makespan-oriented
+//! contender: dispatch the ready process with the longest remaining
+//! dependence chain (weighted by estimated work), ignoring data locality
+//! entirely. Comparing it against LS quantifies how much of LS's win
+//! comes from cache reuse rather than from incidental load balancing.
+
+use std::collections::BTreeMap;
+
+use lams_mpsoc::CoreId;
+use lams_procgraph::ProcessId;
+use lams_workloads::Workload;
+
+use crate::Policy;
+
+/// List scheduler prioritizing the longest remaining weighted path
+/// (a.k.a. "bottom level"); ties break toward the smaller process id.
+///
+/// Weights are the process trace lengths (operation counts) — a
+/// latency-oblivious but schedule-independent estimate of work.
+#[derive(Debug, Clone)]
+pub struct CriticalPathPolicy {
+    /// Bottom level per process: weight(p) + max over successors.
+    priority: BTreeMap<ProcessId, u64>,
+}
+
+impl CriticalPathPolicy {
+    /// Computes bottom levels for every process of the workload.
+    pub fn new(workload: &Workload) -> Self {
+        let g = workload.epg();
+        let mut priority: BTreeMap<ProcessId, u64> = BTreeMap::new();
+        // Reverse topological order: successors before predecessors.
+        for p in g.topo_order().into_iter().rev() {
+            let down = g
+                .succs(p)
+                .expect("node exists")
+                .map(|s| priority[&s])
+                .max()
+                .unwrap_or(0);
+            priority.insert(p, workload.trace_len(p) + down);
+        }
+        CriticalPathPolicy { priority }
+    }
+
+    /// The bottom-level priority of a process (0 when unknown).
+    pub fn priority(&self, p: ProcessId) -> u64 {
+        self.priority.get(&p).copied().unwrap_or(0)
+    }
+}
+
+impl Policy for CriticalPathPolicy {
+    fn name(&self) -> &str {
+        "CPS"
+    }
+
+    fn on_ready(&mut self, _p: ProcessId, _now: u64) {}
+
+    fn select(
+        &mut self,
+        _core: CoreId,
+        _last: Option<ProcessId>,
+        ready: &[ProcessId],
+    ) -> Option<ProcessId> {
+        ready
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                self.priority(a)
+                    .cmp(&self.priority(b))
+                    .then_with(|| b.cmp(&a)) // smaller id on ties
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lams_workloads::{suite, Scale};
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn priorities_decrease_along_chains() {
+        // Track: predict_k -> match_k -> update_k.
+        let w = Workload::single(suite::track(Scale::Tiny)).unwrap();
+        let cps = CriticalPathPolicy::new(&w);
+        for k in 0..4 {
+            let (p, m, u) = (pid(k), pid(4 + k), pid(8 + k));
+            assert!(cps.priority(p) > cps.priority(m));
+            assert!(cps.priority(m) > cps.priority(u));
+        }
+    }
+
+    #[test]
+    fn selects_longest_chain_first() {
+        let w = Workload::single(suite::usonic(Scale::Tiny)).unwrap();
+        let mut cps = CriticalPathPolicy::new(&w);
+        // Among the 8 beamform roots, all have equal chains; smallest id
+        // wins the tie.
+        let ready: Vec<ProcessId> = (0..8).map(pid).collect();
+        assert_eq!(cps.select(0, None, &ready), Some(pid(0)));
+        // A match process (short chain) loses to a beamformer.
+        let ready = vec![pid(3), pid(32)];
+        assert_eq!(cps.select(0, None, &ready), Some(pid(3)));
+    }
+
+    #[test]
+    fn empty_ready_declines() {
+        let w = Workload::single(suite::shape(Scale::Tiny)).unwrap();
+        let mut cps = CriticalPathPolicy::new(&w);
+        assert_eq!(cps.select(0, None, &[]), None);
+    }
+}

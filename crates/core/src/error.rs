@@ -1,0 +1,87 @@
+//! Error type for scheduling and experiments.
+
+use std::fmt;
+
+/// Result alias using the crate's [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while scheduling or running experiments.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The policy declined to dispatch although processes were ready and
+    /// every core was idle (a policy contract violation).
+    EngineStalled {
+        /// Number of ready-but-undispatched processes.
+        ready: usize,
+    },
+    /// Simulator error.
+    Mpsoc(lams_mpsoc::Error),
+    /// Process-graph error.
+    Graph(lams_procgraph::Error),
+    /// Workload error.
+    Workload(lams_workloads::Error),
+    /// Layout error.
+    Layout(lams_layout::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EngineStalled { ready } => {
+                write!(f, "policy stalled the engine with {ready} ready processes")
+            }
+            Error::Mpsoc(e) => write!(f, "machine: {e}"),
+            Error::Graph(e) => write!(f, "process graph: {e}"),
+            Error::Workload(e) => write!(f, "workload: {e}"),
+            Error::Layout(e) => write!(f, "layout: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Mpsoc(e) => Some(e),
+            Error::Graph(e) => Some(e),
+            Error::Workload(e) => Some(e),
+            Error::Layout(e) => Some(e),
+            Error::EngineStalled { .. } => None,
+        }
+    }
+}
+
+impl From<lams_mpsoc::Error> for Error {
+    fn from(e: lams_mpsoc::Error) -> Self {
+        Error::Mpsoc(e)
+    }
+}
+
+impl From<lams_procgraph::Error> for Error {
+    fn from(e: lams_procgraph::Error) -> Self {
+        Error::Graph(e)
+    }
+}
+
+impl From<lams_workloads::Error> for Error {
+    fn from(e: lams_workloads::Error) -> Self {
+        Error::Workload(e)
+    }
+}
+
+impl From<lams_layout::Error> for Error {
+    fn from(e: lams_layout::Error) -> Self {
+        Error::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = Error::EngineStalled { ready: 3 };
+        assert_eq!(e.to_string(), "policy stalled the engine with 3 ready processes");
+    }
+}

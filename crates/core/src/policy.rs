@@ -1,0 +1,124 @@
+//! The scheduling-policy abstraction shared by the four schedulers.
+
+use std::fmt;
+
+use lams_mpsoc::CoreId;
+use lams_procgraph::ProcessId;
+
+/// A process scheduling policy, driven by the engine ([`crate::execute`]).
+///
+/// The engine calls [`Policy::on_ready`] whenever a process becomes
+/// dispatchable (its dependences resolved, or it was preempted back into
+/// the ready state) and [`Policy::select`] whenever a core is idle and at
+/// least one process is ready. A policy returning `Some(p)` commits `p`
+/// to that core; returning `None` leaves the core idle until the next
+/// scheduling event.
+///
+/// # Contract
+///
+/// A policy must eventually dispatch every ready process: if every core
+/// is idle and `select` still returns `None` for all of them, the engine
+/// reports [`crate::Error::EngineStalled`].
+pub trait Policy {
+    /// Short name for reports (e.g. `"LS"`).
+    fn name(&self) -> &str;
+
+    /// A process became ready at `now` (engine cycles).
+    fn on_ready(&mut self, p: ProcessId, now: u64);
+
+    /// A running process was preempted at `now` and is ready again.
+    /// Defaults to treating it like a fresh ready event.
+    fn on_preempt(&mut self, p: ProcessId, now: u64) {
+        self.on_ready(p, now);
+    }
+
+    /// Chooses the next process for `core` from `ready` (ascending ids).
+    /// `last` is the process most recently *dispatched* on this core, if
+    /// any — the paper's "previous scheduled process on core\[k\]".
+    fn select(
+        &mut self,
+        core: CoreId,
+        last: Option<ProcessId>,
+        ready: &[ProcessId],
+    ) -> Option<ProcessId>;
+
+    /// Orders the idle cores for dispatch when several cores are free at
+    /// once. Entries are `(core, last_dispatched, local_clock)`; the
+    /// engine offers `select` to cores in the returned order and
+    /// re-ranks after every dispatch.
+    ///
+    /// The default is earliest-clock-first (FCFS over cores). The
+    /// locality-aware policy overrides this so that the core whose
+    /// *previous* process shares the most data with some ready process
+    /// gets first pick — without this, a newly-ready consumer would be
+    /// grabbed by whichever core happened to idle longest, squandering
+    /// the producer's cache contents.
+    fn rank_idle(
+        &mut self,
+        idle: &[(CoreId, Option<ProcessId>, u64)],
+        ready: &[ProcessId],
+    ) -> Vec<CoreId> {
+        let _ = ready;
+        let mut order: Vec<(u64, CoreId)> = idle.iter().map(|&(c, _, t)| (t, c)).collect();
+        order.sort_unstable();
+        order.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Preemption quantum in cycles; `None` runs processes to completion.
+    fn quantum(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// The four schedulers evaluated in Section 4 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// RS — random core assignment, run to completion.
+    Random,
+    /// RRS — preemptive FCFS from one shared FIFO ready queue.
+    RoundRobin,
+    /// LS — locality-aware scheduling (Figure 3), no data mapping.
+    Locality,
+    /// LSM — LS plus the conflict-avoiding data mapping (Figures 4–5).
+    LocalityMap,
+}
+
+impl PolicyKind {
+    /// All four, in the paper's presentation order.
+    pub const ALL: &'static [PolicyKind] = &[
+        PolicyKind::Random,
+        PolicyKind::RoundRobin,
+        PolicyKind::Locality,
+        PolicyKind::LocalityMap,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            PolicyKind::Random => "RS",
+            PolicyKind::RoundRobin => "RRS",
+            PolicyKind::Locality => "LS",
+            PolicyKind::LocalityMap => "LSM",
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviations() {
+        assert_eq!(PolicyKind::Random.to_string(), "RS");
+        assert_eq!(PolicyKind::RoundRobin.to_string(), "RRS");
+        assert_eq!(PolicyKind::Locality.to_string(), "LS");
+        assert_eq!(PolicyKind::LocalityMap.to_string(), "LSM");
+        assert_eq!(PolicyKind::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! TAS — task-affinity scheduling (an extension baseline).
+//!
+//! A coarser cousin of the paper's LS: instead of the exact
+//! element-level sharing matrix, it only knows which *task*
+//! (application) each process belongs to and prefers to keep a core on
+//! the task it last served — roughly what a commodity OS achieves with
+//! cache-affinity heuristics. The LS-vs-TAS comparison isolates the
+//! value of the paper's fine-grained Presburger sharing analysis over
+//! mere application affinity.
+
+use lams_mpsoc::CoreId;
+use lams_procgraph::{ProcessId, TaskId};
+
+use crate::Policy;
+
+/// Prefers ready processes from the same task as the core's previous
+/// process; within a task (or with no history), the smallest id wins.
+#[derive(Debug, Clone)]
+pub struct TaskAffinityPolicy {
+    /// Task of each process, indexed by process id.
+    task_of: Vec<TaskId>,
+}
+
+impl TaskAffinityPolicy {
+    /// Builds the policy from a workload's task structure.
+    pub fn new(workload: &lams_workloads::Workload) -> Self {
+        let task_of = workload
+            .process_ids()
+            .map(|p| {
+                workload
+                    .epg()
+                    .task_of(p)
+                    .expect("workload processes belong to tasks")
+            })
+            .collect();
+        TaskAffinityPolicy { task_of }
+    }
+
+    fn task(&self, p: ProcessId) -> TaskId {
+        self.task_of[p.as_usize()]
+    }
+}
+
+impl Policy for TaskAffinityPolicy {
+    fn name(&self) -> &str {
+        "TAS"
+    }
+
+    fn on_ready(&mut self, _p: ProcessId, _now: u64) {}
+
+    fn select(
+        &mut self,
+        _core: CoreId,
+        last: Option<ProcessId>,
+        ready: &[ProcessId],
+    ) -> Option<ProcessId> {
+        match last {
+            Some(prev) => {
+                let want = self.task(prev);
+                ready
+                    .iter()
+                    .copied()
+                    .find(|&p| self.task(p) == want)
+                    .or_else(|| ready.first().copied())
+            }
+            None => ready.first().copied(),
+        }
+    }
+
+    /// Cores whose last process's task still has ready work pick first.
+    fn rank_idle(
+        &mut self,
+        idle: &[(CoreId, Option<ProcessId>, u64)],
+        ready: &[ProcessId],
+    ) -> Vec<CoreId> {
+        let mut scored: Vec<(u8, u64, CoreId)> = idle
+            .iter()
+            .map(|&(core, last, clock)| {
+                let has_affinity = last
+                    .map(|prev| {
+                        let want = self.task(prev);
+                        ready.iter().any(|&p| self.task(p) == want)
+                    })
+                    .unwrap_or(false);
+                (u8::from(!has_affinity), clock, core)
+            })
+            .collect();
+        scored.sort_unstable();
+        scored.into_iter().map(|(_, _, c)| c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lams_workloads::{suite, Scale, Workload};
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn prefers_same_task() {
+        // Two concurrent apps: Shape (9 procs: ids 0..9) + Track (12:
+        // ids 9..21).
+        let w = Workload::concurrent(vec![
+            suite::shape(Scale::Tiny),
+            suite::track(Scale::Tiny),
+        ])
+        .unwrap();
+        let mut tas = TaskAffinityPolicy::new(&w);
+        // Core last ran a Track process; Track work is ready.
+        let ready = vec![pid(4), pid(13)];
+        assert_eq!(tas.select(0, Some(pid(9)), &ready), Some(pid(13)));
+        // No same-task candidate: fall back to the smallest id.
+        let ready = vec![pid(4), pid(5)];
+        assert_eq!(tas.select(0, Some(pid(9)), &ready), Some(pid(4)));
+        // Fresh core takes the smallest.
+        assert_eq!(tas.select(0, None, &ready), Some(pid(4)));
+    }
+
+    #[test]
+    fn rank_prefers_affinity_cores() {
+        let w = Workload::concurrent(vec![
+            suite::shape(Scale::Tiny),
+            suite::track(Scale::Tiny),
+        ])
+        .unwrap();
+        let mut tas = TaskAffinityPolicy::new(&w);
+        // Core 0 last ran Shape, core 1 last ran Track; only Track work
+        // is ready -> core 1 picks first despite a later clock.
+        let idle = vec![(0usize, Some(pid(0)), 0u64), (1usize, Some(pid(9)), 50u64)];
+        let ready = vec![pid(13)];
+        assert_eq!(tas.rank_idle(&idle, &ready), vec![1, 0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests over the scheduling engine: on randomly generated
+//! staged workloads, every policy completes every process exactly once,
+//! respects dependences, and is deterministic.
+
+use proptest::prelude::*;
+
+use lams_core::{
+    execute, EngineConfig, LocalityPolicy, Policy, RandomPolicy, RoundRobinPolicy, SharingMatrix,
+};
+use lams_layout::Layout;
+use lams_mpsoc::MachineConfig;
+use lams_workloads::{synthetic_app, SyntheticConfig, Workload};
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (0u64..64, 1usize..4, 1usize..5, 0i64..3).prop_map(|(seed, stages, pps, halo)| {
+        let app = synthetic_app(SyntheticConfig {
+            seed,
+            stages,
+            procs_per_stage: pps,
+            dim: 16,
+            max_halo: halo,
+        });
+        Workload::single(app).expect("synthetic apps are valid")
+    })
+}
+
+fn policies(w: &Workload, cores: usize) -> Vec<Box<dyn Policy>> {
+    let sharing = SharingMatrix::from_workload(w);
+    vec![
+        Box::new(RandomPolicy::new(7)),
+        Box::new(RoundRobinPolicy::new(500)),
+        Box::new(LocalityPolicy::new(sharing.clone(), cores)),
+        Box::new(LocalityPolicy::new(sharing, cores).without_initial_thinning()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_policy_drains_every_workload(w in arb_workload(), cores in 1usize..5) {
+        let layout = Layout::linear(w.arrays());
+        let cfg = EngineConfig::from(MachineConfig::paper_default().with_cores(cores));
+        for mut p in policies(&w, cores) {
+            let r = execute(&w, &layout, p.as_mut(), cfg).expect("engine runs");
+            prop_assert_eq!(r.processes.len(), w.num_processes(), "{} lost work", p.name());
+            // Dependences respected.
+            for pid in w.process_ids() {
+                for s in w.epg().succs(pid).unwrap() {
+                    prop_assert!(r.processes[&s].start >= r.processes[&pid].finish);
+                }
+            }
+            // Makespan covers the busiest core.
+            prop_assert!(r.makespan_cycles * cores as u64 >= r.machine.total_busy_cycles);
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic(w in arb_workload()) {
+        let layout = Layout::linear(w.arrays());
+        let cfg = EngineConfig::from(MachineConfig::paper_default().with_cores(4));
+        let sharing = SharingMatrix::from_workload(&w);
+        let run = || {
+            let mut p = LocalityPolicy::new(sharing.clone(), 4);
+            let r = execute(&w, &layout, &mut p, cfg).expect("engine runs");
+            (r.makespan_cycles, r.core_sequences.clone())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn preemption_preserves_work(w in arb_workload(), quantum in 50u64..2_000) {
+        let layout = Layout::linear(w.arrays());
+        let cfg = EngineConfig::from(MachineConfig::paper_default().with_cores(2));
+        let mut rr = RoundRobinPolicy::new(quantum);
+        let r = execute(&w, &layout, &mut rr, cfg).expect("engine runs");
+        prop_assert_eq!(r.processes.len(), w.num_processes());
+        // Total cache accesses are invariant under preemption: compare
+        // with a run-to-completion policy.
+        let mut rs = RandomPolicy::new(3);
+        let r2 = execute(&w, &layout, &mut rs, cfg).expect("engine runs");
+        prop_assert_eq!(
+            r.machine.cache.accesses(),
+            r2.machine.cache.accesses(),
+            "policies executed different access counts"
+        );
+    }
+
+    #[test]
+    fn sharing_matrix_is_symmetric_with_zero_diagonal(w in arb_workload()) {
+        let m = SharingMatrix::from_workload(&w);
+        for p in w.process_ids() {
+            prop_assert_eq!(m.get(p, p), 0);
+            for q in w.process_ids() {
+                prop_assert_eq!(m.get(p, q), m.get(q, p));
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_never_below_critical_path_compute(w in arb_workload()) {
+        // A loose lower bound: the critical path of pure compute cycles
+        // can never exceed the measured makespan.
+        let layout = Layout::linear(w.arrays());
+        let cfg = EngineConfig::from(MachineConfig::paper_default().with_cores(4));
+        let (cp, _) = w.epg().critical_path(|p| {
+            // compute cycles only (access latencies are extra)
+            w.trace(p, &layout)
+                .filter_map(|op| match op {
+                    lams_mpsoc::TraceOp::Compute(c) => Some(c),
+                    _ => None,
+                })
+                .sum()
+        });
+        let mut p = RandomPolicy::new(11);
+        let r = execute(&w, &layout, &mut p, cfg).expect("engine runs");
+        prop_assert!(r.makespan_cycles >= cp);
+    }
+}

@@ -1,0 +1,218 @@
+//! Pairwise cache-set conflict estimation between arrays.
+
+use std::fmt;
+
+use crate::ArrayId;
+
+/// Symmetric matrix `M[x][y]` estimating how strongly arrays `x` and `y`
+/// conflict in the cache: the number of (line of `x`, line of `y`) pairs
+/// that map to the same cache set.
+///
+/// This realizes the paper's "conflict matrix" input to the Figure 5
+/// re-layout algorithm. Entries are built from per-array cache-set
+/// histograms ([`crate::Layout::set_histogram`]): two arrays whose
+/// footprints pile into the same sets get a large entry; arrays whose
+/// footprints are set-disjoint get zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictMatrix {
+    n: usize,
+    data: Vec<u64>,
+}
+
+impl ConflictMatrix {
+    /// Creates an all-zero `n x n` matrix.
+    pub fn new(n: usize) -> Self {
+        ConflictMatrix {
+            n,
+            data: vec![0; n * n],
+        }
+    }
+
+    /// Builds the matrix from per-array set histograms: `M[x][y] =
+    /// Σ_s h_x[s] · h_y[s]` for `x != y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when histograms have differing lengths.
+    pub fn from_histograms(histograms: &[Vec<u64>]) -> Self {
+        let n = histograms.len();
+        let mut m = ConflictMatrix::new(n);
+        if n == 0 {
+            return m;
+        }
+        let sets = histograms[0].len();
+        for h in histograms {
+            assert_eq!(h.len(), sets, "histogram length mismatch");
+        }
+        for x in 0..n {
+            for y in (x + 1)..n {
+                let v: u64 = histograms[x]
+                    .iter()
+                    .zip(&histograms[y])
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                m.set(ArrayId::new(x as u32), ArrayId::new(y as u32), v);
+            }
+        }
+        m
+    }
+
+    /// Matrix dimension (number of arrays).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is 0 x 0.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The entry for a pair (symmetric; the diagonal is always 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an id is out of range.
+    pub fn get(&self, x: ArrayId, y: ArrayId) -> u64 {
+        assert!(x.as_usize() < self.n && y.as_usize() < self.n, "id range");
+        self.data[x.as_usize() * self.n + y.as_usize()]
+    }
+
+    /// Sets the entry for a pair, symmetrically. Diagonal writes are
+    /// ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an id is out of range.
+    pub fn set(&mut self, x: ArrayId, y: ArrayId, v: u64) {
+        assert!(x.as_usize() < self.n && y.as_usize() < self.n, "id range");
+        if x == y {
+            return;
+        }
+        self.data[x.as_usize() * self.n + y.as_usize()] = v;
+        self.data[y.as_usize() * self.n + x.as_usize()] = v;
+    }
+
+    /// Adds to the entry for a pair, symmetrically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an id is out of range.
+    pub fn add(&mut self, x: ArrayId, y: ArrayId, v: u64) {
+        let cur = self.get(x, y);
+        self.set(x, y, cur + v);
+    }
+
+    /// The pair with the maximum entry among pairs accepted by `filter`,
+    /// or `None` when every accepted entry is zero or no pair is
+    /// accepted. Ties break toward the smallest `(x, y)`.
+    pub fn max_pair<F>(&self, mut filter: F) -> Option<(ArrayId, ArrayId, u64)>
+    where
+        F: FnMut(ArrayId, ArrayId) -> bool,
+    {
+        let mut best: Option<(ArrayId, ArrayId, u64)> = None;
+        for x in 0..self.n {
+            for y in (x + 1)..self.n {
+                let (ax, ay) = (ArrayId::new(x as u32), ArrayId::new(y as u32));
+                if !filter(ax, ay) {
+                    continue;
+                }
+                let v = self.get(ax, ay);
+                if v > 0 && best.is_none_or(|(_, _, bv)| v > bv) {
+                    best = Some((ax, ay, v));
+                }
+            }
+        }
+        best
+    }
+
+    /// The paper's default threshold `T`: the average entry across all
+    /// unordered pairs (zero entries included). Returns 0.0 for fewer
+    /// than two arrays.
+    pub fn mean_all_pairs(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0u128;
+        for x in 0..self.n {
+            for y in (x + 1)..self.n {
+                sum += self.get(ArrayId::new(x as u32), ArrayId::new(y as u32)) as u128;
+            }
+        }
+        let pairs = (self.n * (self.n - 1) / 2) as f64;
+        sum as f64 / pairs
+    }
+}
+
+impl fmt::Display for ConflictMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ConflictMatrix {}x{}:", self.n, self.n)?;
+        for x in 0..self.n {
+            for y in 0..self.n {
+                write!(
+                    f,
+                    "{:>8}",
+                    self.data[x * self.n + y]
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u32) -> ArrayId {
+        ArrayId::new(i)
+    }
+
+    #[test]
+    fn symmetric_set_get() {
+        let mut m = ConflictMatrix::new(3);
+        m.set(id(0), id(2), 7);
+        assert_eq!(m.get(id(2), id(0)), 7);
+        assert_eq!(m.get(id(0), id(1)), 0);
+        m.add(id(0), id(2), 3);
+        assert_eq!(m.get(id(0), id(2)), 10);
+        // Diagonal writes ignored.
+        m.set(id(1), id(1), 99);
+        assert_eq!(m.get(id(1), id(1)), 0);
+    }
+
+    #[test]
+    fn from_histograms_dot_products() {
+        // Arrays 0 and 1 overlap in set 0; array 2 is disjoint.
+        let h = vec![vec![2, 0, 1], vec![3, 0, 0], vec![0, 5, 0]];
+        let m = ConflictMatrix::from_histograms(&h);
+        assert_eq!(m.get(id(0), id(1)), 6); // 2*3 in set 0
+        assert_eq!(m.get(id(0), id(2)), 0); // no shared sets
+        assert_eq!(m.get(id(1), id(2)), 0);
+    }
+
+    #[test]
+    fn max_pair_with_filter() {
+        let mut m = ConflictMatrix::new(3);
+        m.set(id(0), id(1), 5);
+        m.set(id(0), id(2), 9);
+        m.set(id(1), id(2), 7);
+        assert_eq!(m.max_pair(|_, _| true), Some((id(0), id(2), 9)));
+        assert_eq!(
+            m.max_pair(|x, y| !(x == id(0) && y == id(2))),
+            Some((id(1), id(2), 7))
+        );
+        assert_eq!(m.max_pair(|_, _| false), None);
+        let z = ConflictMatrix::new(3);
+        assert_eq!(z.max_pair(|_, _| true), None);
+    }
+
+    #[test]
+    fn mean_over_all_pairs() {
+        let mut m = ConflictMatrix::new(3);
+        m.set(id(0), id(1), 6);
+        // pairs: (0,1)=6, (0,2)=0, (1,2)=0 -> mean 2.
+        assert!((m.mean_all_pairs() - 2.0).abs() < 1e-12);
+        assert_eq!(ConflictMatrix::new(1).mean_all_pairs(), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for layout construction.
+
+use std::fmt;
+
+use crate::ArrayId;
+
+/// Result alias using the crate's [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by layout queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The array id is not covered by the layout.
+    UnknownArray(ArrayId),
+    /// An element index lies outside the array.
+    IndexOutOfBounds {
+        /// The array accessed.
+        array: ArrayId,
+        /// The offending linear index.
+        index: i64,
+        /// The array's element count.
+        len: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownArray(a) => write!(f, "unknown array {a}"),
+            Error::IndexOutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for {array} (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Error::UnknownArray(ArrayId::new(3)).to_string(),
+            "unknown array A3"
+        );
+    }
+}

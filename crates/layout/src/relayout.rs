@@ -1,0 +1,316 @@
+//! The greedy array re-layout selection algorithm (Figure 5).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::{ArrayId, ConflictMatrix};
+
+/// Which half of a cache page a re-layouted array is pinned to —
+/// the `b` of the paper's `addr'` formula: `Lower` is `b = 0`, `Upper`
+/// is `b = C/2`. Arrays with different halves can never conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HalfPage {
+    /// `b = 0`.
+    Lower,
+    /// `b = C/2`.
+    Upper,
+}
+
+impl HalfPage {
+    /// The other half.
+    pub fn opposite(self) -> HalfPage {
+        match self {
+            HalfPage::Lower => HalfPage::Upper,
+            HalfPage::Upper => HalfPage::Lower,
+        }
+    }
+
+    /// The byte offset `b` for a given half-page size `C/2`.
+    pub fn b_offset(self, half_page: u64) -> u64 {
+        match self {
+            HalfPage::Lower => 0,
+            HalfPage::Upper => half_page,
+        }
+    }
+}
+
+impl fmt::Display for HalfPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HalfPage::Lower => write!(f, "b=0"),
+            HalfPage::Upper => write!(f, "b=C/2"),
+        }
+    }
+}
+
+/// The output of the re-layout pass: which arrays are remapped, and to
+/// which half-page offset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RemapAssignment {
+    map: BTreeMap<ArrayId, HalfPage>,
+}
+
+impl RemapAssignment {
+    /// Creates an empty assignment (nothing remapped).
+    pub fn new() -> Self {
+        RemapAssignment::default()
+    }
+
+    /// Pins `array` to a half page.
+    pub fn assign(&mut self, array: ArrayId, half: HalfPage) {
+        self.map.insert(array, half);
+    }
+
+    /// The half-page of `array`, when remapped.
+    pub fn get(&self, array: ArrayId) -> Option<HalfPage> {
+        self.map.get(&array).copied()
+    }
+
+    /// Whether `array` is remapped.
+    pub fn contains(&self, array: ArrayId) -> bool {
+        self.map.contains_key(&array)
+    }
+
+    /// The byte offset `b` for `array` given `C/2`, when remapped.
+    pub fn b_offset(&self, array: ArrayId, half_page: u64) -> Option<u64> {
+        self.get(array).map(|h| h.b_offset(half_page))
+    }
+
+    /// Number of remapped arrays.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is remapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(array, half)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ArrayId, HalfPage)> + '_ {
+        self.map.iter().map(|(&a, &h)| (a, h))
+    }
+}
+
+/// The eligibility relation of Figure 5: a pair of arrays may be
+/// re-layouted against each other only when they are "accessed by the
+/// same process, or respectively accessed by a pair of processes that are
+/// scheduled successively on the same core".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdjacentArrays {
+    pairs: BTreeSet<(ArrayId, ArrayId)>,
+}
+
+impl AdjacentArrays {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        AdjacentArrays::default()
+    }
+
+    /// Marks a pair as adjacent (order-insensitive; self-pairs ignored).
+    pub fn insert(&mut self, x: ArrayId, y: ArrayId) {
+        if x == y {
+            return;
+        }
+        let key = (x.min(y), x.max(y));
+        self.pairs.insert(key);
+    }
+
+    /// Marks every pair within one process's accessed-array list.
+    pub fn insert_within(&mut self, arrays: &[ArrayId]) {
+        for (i, &x) in arrays.iter().enumerate() {
+            for &y in &arrays[i + 1..] {
+                self.insert(x, y);
+            }
+        }
+    }
+
+    /// Marks every cross pair between two processes' array lists (for
+    /// processes scheduled successively on the same core).
+    pub fn insert_across(&mut self, a: &[ArrayId], b: &[ArrayId]) {
+        for &x in a {
+            for &y in b {
+                self.insert(x, y);
+            }
+        }
+    }
+
+    /// Whether the pair is adjacent.
+    pub fn contains(&self, x: ArrayId, y: ArrayId) -> bool {
+        x != y && self.pairs.contains(&(x.min(y), x.max(y)))
+    }
+
+    /// Number of adjacent pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Runs the Figure 5 greedy selection: repeatedly take the
+/// maximum-conflict pair (among pairs where at least one array is not yet
+/// re-layouted), and when the pair is adjacent, pin the two arrays to
+/// opposite half-pages. Stops when the maximum eligible entry drops to
+/// the threshold `T` or below.
+///
+/// `threshold` defaults to the paper's choice — the average number of
+/// conflicts across all pairs of arrays
+/// ([`ConflictMatrix::mean_all_pairs`]).
+///
+/// ```
+/// use lams_layout::{relayout_pass, AdjacentArrays, ArrayId, ConflictMatrix, HalfPage};
+///
+/// let (a, b) = (ArrayId::new(0), ArrayId::new(1));
+/// let mut m = ConflictMatrix::new(2);
+/// m.set(a, b, 100);
+/// let mut adj = AdjacentArrays::new();
+/// adj.insert(a, b);
+///
+/// let asg = relayout_pass(&m, &adj, Some(0.0));
+/// assert_eq!(asg.get(a), Some(HalfPage::Lower));
+/// assert_eq!(asg.get(b), Some(HalfPage::Upper));
+/// ```
+pub fn relayout_pass(
+    matrix: &ConflictMatrix,
+    adjacent: &AdjacentArrays,
+    threshold: Option<f64>,
+) -> RemapAssignment {
+    let t = threshold.unwrap_or_else(|| matrix.mean_all_pairs());
+    let mut m = matrix.clone();
+    let mut asg = RemapAssignment::new();
+    // "select (x, y) such that M[x][y] is maximized and that Ax or Ay
+    //  has not been re-layouted"
+    while let Some((x, y, v)) = m.max_pair(|x, y| !(asg.contains(x) && asg.contains(y))) {
+        if (v as f64) <= t {
+            break;
+        }
+        m.set(x, y, 0);
+        if !adjacent.contains(x, y) {
+            continue;
+        }
+        match (asg.get(x), asg.get(y)) {
+            (Some(hx), None) => asg.assign(y, hx.opposite()),
+            (None, Some(hy)) => asg.assign(x, hy.opposite()),
+            (None, None) => {
+                asg.assign(x, HalfPage::Lower);
+                asg.assign(y, HalfPage::Upper);
+            }
+            // Excluded by the max_pair filter.
+            (Some(_), Some(_)) => unreachable!("filter admits at most one re-layouted array"),
+        }
+    }
+    asg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u32) -> ArrayId {
+        ArrayId::new(i)
+    }
+
+    #[test]
+    fn half_page_offsets() {
+        assert_eq!(HalfPage::Lower.b_offset(2048), 0);
+        assert_eq!(HalfPage::Upper.b_offset(2048), 2048);
+        assert_eq!(HalfPage::Lower.opposite(), HalfPage::Upper);
+        assert_eq!(HalfPage::Upper.opposite(), HalfPage::Lower);
+    }
+
+    #[test]
+    fn adjacency_relation() {
+        let mut adj = AdjacentArrays::new();
+        adj.insert_within(&[id(0), id(1), id(2)]);
+        assert!(adj.contains(id(0), id(2)));
+        assert!(adj.contains(id(2), id(0)));
+        assert!(!adj.contains(id(0), id(3)));
+        assert!(!adj.contains(id(1), id(1)));
+        assert_eq!(adj.len(), 3);
+        adj.insert_across(&[id(0)], &[id(3), id(4)]);
+        assert!(adj.contains(id(0), id(4)));
+        assert_eq!(adj.len(), 5);
+    }
+
+    #[test]
+    fn pass_assigns_opposite_halves() {
+        let mut m = ConflictMatrix::new(3);
+        m.set(id(0), id(1), 100);
+        m.set(id(1), id(2), 90);
+        let mut adj = AdjacentArrays::new();
+        adj.insert(id(0), id(1));
+        adj.insert(id(1), id(2));
+        let asg = relayout_pass(&m, &adj, Some(0.0));
+        // (0,1) processed first: 0 -> Lower, 1 -> Upper.
+        assert_eq!(asg.get(id(0)), Some(HalfPage::Lower));
+        assert_eq!(asg.get(id(1)), Some(HalfPage::Upper));
+        // (1,2): 1 already placed, 2 takes the opposite of 1.
+        assert_eq!(asg.get(id(2)), Some(HalfPage::Lower));
+    }
+
+    #[test]
+    fn pass_skips_non_adjacent_pairs() {
+        let mut m = ConflictMatrix::new(2);
+        m.set(id(0), id(1), 100);
+        let asg = relayout_pass(&m, &AdjacentArrays::new(), Some(0.0));
+        assert!(asg.is_empty());
+    }
+
+    #[test]
+    fn pass_respects_threshold() {
+        let mut m = ConflictMatrix::new(2);
+        m.set(id(0), id(1), 10);
+        let mut adj = AdjacentArrays::new();
+        adj.insert(id(0), id(1));
+        // Threshold above the entry: nothing happens.
+        let asg = relayout_pass(&m, &adj, Some(10.0));
+        assert!(asg.is_empty());
+        // Default threshold = mean over the single pair = 10 -> also
+        // nothing (strict inequality in the paper's `while (M > T)`).
+        let asg = relayout_pass(&m, &adj, None);
+        assert!(asg.is_empty());
+    }
+
+    #[test]
+    fn pass_default_threshold_mean() {
+        // Entries 100 and 10: mean = (100 + 10 + 0) / 3 = 36.67, so only
+        // the 100-pair is re-layouted.
+        let mut m = ConflictMatrix::new(3);
+        m.set(id(0), id(1), 100);
+        m.set(id(1), id(2), 10);
+        let mut adj = AdjacentArrays::new();
+        adj.insert(id(0), id(1));
+        adj.insert(id(1), id(2));
+        let asg = relayout_pass(&m, &adj, None);
+        assert!(asg.contains(id(0)));
+        assert!(asg.contains(id(1)));
+        assert!(!asg.contains(id(2)));
+    }
+
+    #[test]
+    fn pass_both_already_relayouted_is_skipped() {
+        // Triangle where the last pair would see both endpoints placed.
+        let mut m = ConflictMatrix::new(3);
+        m.set(id(0), id(1), 100);
+        m.set(id(1), id(2), 90);
+        m.set(id(0), id(2), 80);
+        let mut adj = AdjacentArrays::new();
+        adj.insert_within(&[id(0), id(1), id(2)]);
+        let asg = relayout_pass(&m, &adj, Some(0.0));
+        // All three placed; 0 and 2 end up sharing a half (can conflict),
+        // exactly as the paper accepts ("we do not attempt to re-layout
+        // either of them").
+        assert_eq!(asg.len(), 3);
+        assert_eq!(asg.get(id(0)), asg.get(id(2)));
+    }
+
+    #[test]
+    fn empty_matrix_no_assignment() {
+        let asg = relayout_pass(&ConflictMatrix::new(0), &AdjacentArrays::new(), None);
+        assert!(asg.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: global injectivity of layouts, the Figure 4 half-page
+//! disjointness theorem, and footprint consistency.
+
+use std::collections::{BTreeSet, HashMap};
+
+use proptest::prelude::*;
+
+use lams_layout::{ArrayDecl, ArrayTable, HalfPage, Layout, RemapAssignment};
+use lams_mpsoc::CacheConfig;
+use lams_presburger::IndexSet;
+
+fn arb_workload() -> impl Strategy<Value = (ArrayTable, RemapAssignment)> {
+    // 1..5 arrays, each 1..600 elements of 1/2/4/8 bytes, each optionally
+    // remapped to a random half.
+    prop::collection::vec((1i64..600, 0usize..4, 0u8..3), 1..5).prop_map(|specs| {
+        let mut table = ArrayTable::new();
+        let mut asg = RemapAssignment::new();
+        for (k, (len, esz, half)) in specs.into_iter().enumerate() {
+            let elem = [1u64, 2, 4, 8][esz];
+            let id = table.push(ArrayDecl::new(format!("A{k}"), vec![len], elem));
+            match half {
+                1 => asg.assign(id, HalfPage::Lower),
+                2 => asg.assign(id, HalfPage::Upper),
+                _ => {}
+            }
+        }
+        (table, asg)
+    })
+}
+
+proptest! {
+    /// No two elements of any arrays ever share a byte address, linear or
+    /// remapped.
+    #[test]
+    fn layouts_are_globally_injective((table, asg) in arb_workload()) {
+        let cache = CacheConfig::paper_default();
+        for layout in [Layout::linear(&table), Layout::remapped(&table, &cache, &asg)] {
+            let mut owner: HashMap<u64, (u32, i64)> = HashMap::new();
+            for (id, decl) in table.iter() {
+                let eb = decl.elem_bytes();
+                for idx in 0..decl.num_elems() as i64 {
+                    let a = layout.addr(id, idx);
+                    for byte in 0..eb {
+                        let prev = owner.insert(a + byte, (id.index(), idx));
+                        prop_assert!(
+                            prev.is_none(),
+                            "byte {:#x} owned twice: {:?} and ({}, {idx})",
+                            a + byte, prev, id.index()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arrays pinned to opposite half-pages never share a cache set.
+    #[test]
+    fn opposite_halves_are_set_disjoint((table, asg) in arb_workload()) {
+        let cache = CacheConfig::paper_default();
+        let layout = Layout::remapped(&table, &cache, &asg);
+        let mut lower_sets = BTreeSet::new();
+        let mut upper_sets = BTreeSet::new();
+        for (id, decl) in table.iter() {
+            let sets: BTreeSet<u64> = (0..decl.num_elems() as i64)
+                .map(|i| cache.set_of(layout.addr(id, i)))
+                .collect();
+            match asg.get(id) {
+                Some(HalfPage::Lower) => lower_sets.extend(sets),
+                Some(HalfPage::Upper) => upper_sets.extend(sets),
+                None => {}
+            }
+        }
+        prop_assert!(lower_sets.is_disjoint(&upper_sets));
+    }
+
+    /// byte_footprint equals the union of per-element byte addresses.
+    #[test]
+    fn footprint_matches_element_addresses((table, asg) in arb_workload()) {
+        let cache = CacheConfig::paper_default();
+        let layout = Layout::remapped(&table, &cache, &asg);
+        for (id, decl) in table.iter() {
+            let n = decl.num_elems() as i64;
+            let elems = IndexSet::from_range(0, n.min(200));
+            let fp = layout.byte_footprint(id, &elems).unwrap();
+            let mut expect = IndexSet::new();
+            for idx in elems.iter() {
+                let a = layout.addr(id, idx) as i64;
+                expect.insert_range(a, a + decl.elem_bytes() as i64);
+            }
+            prop_assert_eq!(fp, expect);
+        }
+    }
+
+    /// The set histogram sums to the number of distinct lines touched.
+    #[test]
+    fn histogram_total_is_line_count((table, asg) in arb_workload()) {
+        let cache = CacheConfig::paper_default();
+        let layout = Layout::remapped(&table, &cache, &asg);
+        for (id, decl) in table.iter() {
+            let elems = IndexSet::from_range(0, decl.num_elems() as i64);
+            let hist = layout.set_histogram(id, &elems, &cache).unwrap();
+            let lines: BTreeSet<u64> = (0..decl.num_elems() as i64)
+                .map(|i| cache.line_of(layout.addr(id, i)))
+                .collect();
+            // Histogram counts distinct lines per set; elements may share
+            // lines, and multi-byte elements may straddle lines, so use
+            // the byte footprint as ground truth.
+            let bytes = layout.byte_footprint(id, &elems).unwrap();
+            let line_set = bytes.coarsen(cache.line_bytes as i64);
+            prop_assert_eq!(hist.iter().sum::<u64>(), line_set.len());
+            prop_assert!(line_set.len() >= lines.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Set-associative LRU cache with 3C miss classification.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::{CacheConfig, CacheStats};
+
+/// What kind of miss an access was, per Hill's 3C model.
+///
+/// * `Cold` — the line was never referenced before.
+/// * `Capacity` — a fully-associative cache of the same capacity would
+///   also have missed.
+/// * `Conflict` — the fully-associative shadow cache would have hit; the
+///   miss is due to limited associativity. These are the misses the
+///   paper's data re-layout (Figures 4–5) eliminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissKind {
+    /// First-ever reference to the line.
+    Cold,
+    /// Would miss even fully associative.
+    Capacity,
+    /// Caused by limited associativity (mapping conflicts).
+    Conflict,
+}
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was resident.
+    Hit,
+    /// The line was not resident; classified when classification is on,
+    /// `None` otherwise.
+    Miss(Option<MissKind>),
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    line: u64,
+    stamp: u64,
+}
+
+/// A private, set-associative, write-allocate LRU cache.
+///
+/// Addresses are byte addresses; the cache tracks resident *lines*.
+/// Writes and reads are treated identically for residency (write-allocate,
+/// no write-back latency modelling — the paper's evaluation is
+/// latency-per-access driven).
+///
+/// ```
+/// use lams_mpsoc::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::paper_default(), true);
+/// assert!(!c.access(0x1000).is_hit()); // cold
+/// assert!(c.access(0x1000).is_hit());
+/// assert!(c.access(0x101f).is_hit()); // same 32-byte line
+/// assert!(!c.access(0x1020).is_hit()); // next line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+    stats: CacheStats,
+    classify: bool,
+    /// Lines ever seen (for cold-miss detection).
+    seen: HashSet<u64>,
+    /// Fully-associative LRU shadow of equal capacity: line -> stamp.
+    shadow: HashMap<u64, u64>,
+    /// stamp -> line (eviction order for the shadow).
+    shadow_order: BTreeMap<u64, u64>,
+}
+
+impl Cache {
+    /// Creates an empty cache. `classify` enables 3C classification
+    /// (adds a fully-associative shadow directory; ~2x slower).
+    pub fn new(config: CacheConfig, classify: bool) -> Self {
+        let num_sets = config.num_sets() as usize;
+        Cache {
+            config,
+            sets: vec![Vec::new(); num_sets],
+            clock: 0,
+            stats: CacheStats::default(),
+            classify,
+            seen: HashSet::new(),
+            shadow: HashMap::new(),
+            shadow_order: BTreeMap::new(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Whether a byte address is currently resident.
+    pub fn is_resident(&self, addr: u64) -> bool {
+        let line = self.config.line_of(addr);
+        let set = (line % self.config.num_sets()) as usize;
+        self.sets[set].iter().any(|w| w.line == line)
+    }
+
+    /// Number of currently resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Performs one access (read or write — residency behaviour is
+    /// identical) and returns the outcome, updating statistics.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        self.clock += 1;
+        let line = self.config.line_of(addr);
+        let set_idx = (line % self.config.num_sets()) as usize;
+        let assoc = self.config.associativity as usize;
+
+        if let Some(w) = self.sets[set_idx].iter_mut().find(|w| w.line == line) {
+            w.stamp = self.clock;
+            self.stats.hits += 1;
+            if self.classify {
+                self.shadow_touch(line);
+            }
+            return AccessOutcome::Hit;
+        }
+
+        // Miss: classify before inserting into the shadow.
+        let kind = if self.classify {
+            let k = if !self.seen.contains(&line) {
+                MissKind::Cold
+            } else if self.shadow.contains_key(&line) {
+                MissKind::Conflict
+            } else {
+                MissKind::Capacity
+            };
+            self.seen.insert(line);
+            self.shadow_touch(line);
+            Some(k)
+        } else {
+            None
+        };
+
+        // Insert with LRU eviction.
+        let set = &mut self.sets[set_idx];
+        if set.len() >= assoc {
+            let (victim, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .expect("non-empty set");
+            set.swap_remove(victim);
+            self.stats.evictions += 1;
+        }
+        set.push(Way {
+            line,
+            stamp: self.clock,
+        });
+
+        self.stats.misses += 1;
+        match kind {
+            Some(MissKind::Cold) => self.stats.cold_misses += 1,
+            Some(MissKind::Capacity) => self.stats.capacity_misses += 1,
+            Some(MissKind::Conflict) => self.stats.conflict_misses += 1,
+            None => {}
+        }
+        AccessOutcome::Miss(kind)
+    }
+
+    /// Touches `line` in the fully-associative shadow (insert or refresh),
+    /// evicting its LRU entry when over capacity.
+    fn shadow_touch(&mut self, line: u64) {
+        let cap = self.config.num_lines() as usize;
+        if let Some(old) = self.shadow.insert(line, self.clock) {
+            self.shadow_order.remove(&old);
+        }
+        self.shadow_order.insert(self.clock, line);
+        if self.shadow.len() > cap {
+            let (&stamp, &victim) = self
+                .shadow_order
+                .iter()
+                .next()
+                .expect("shadow non-empty when over capacity");
+            self.shadow_order.remove(&stamp);
+            self.shadow.remove(&victim);
+        }
+    }
+
+    /// Empties the cache (keeps statistics and the cold-line history).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.shadow.clear();
+        self.shadow_order.clear();
+    }
+
+    /// Resets statistics (keeps contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheConfig {
+        // 4 lines of 16 bytes, 2-way => 2 sets, page = 32 B.
+        CacheConfig::new(64, 2, 16).unwrap()
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(tiny(), true);
+        assert_eq!(c.access(0), AccessOutcome::Miss(Some(MissKind::Cold)));
+        assert_eq!(c.access(15), AccessOutcome::Hit); // same line
+        assert_eq!(c.access(16), AccessOutcome::Miss(Some(MissKind::Cold)));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = Cache::new(tiny(), true);
+        // Lines 0, 2, 4 all map to set 0 (even line indices, 2 sets).
+        c.access(0); // line 0 -> set 0
+        c.access(2 * 16); // line 2 -> set 0
+        c.access(4 * 16); // line 4 -> set 0, evicts line 0 (LRU)
+        assert!(!c.is_resident(0));
+        assert!(c.is_resident(2 * 16));
+        assert!(c.is_resident(4 * 16));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_respects_recency() {
+        let mut c = Cache::new(tiny(), true);
+        c.access(0);
+        c.access(2 * 16);
+        c.access(0); // refresh line 0
+        c.access(4 * 16); // should evict line 2 now
+        assert!(c.is_resident(0));
+        assert!(!c.is_resident(2 * 16));
+    }
+
+    #[test]
+    fn conflict_vs_capacity_classification() {
+        // Direct-mapped, 2 lines of 16 B: lines 0 and 2 collide in set 0
+        // while the cache has capacity for both.
+        let cfg = CacheConfig::new(32, 1, 16).unwrap();
+        let mut c = Cache::new(cfg, true);
+        c.access(0); // cold
+        c.access(2 * 16); // cold, evicts 0 in the direct-mapped cache
+        let out = c.access(0); // shadow (FA, 2 lines) still holds 0
+        assert_eq!(out, AccessOutcome::Miss(Some(MissKind::Conflict)));
+        assert_eq!(c.stats().conflict_misses, 1);
+    }
+
+    #[test]
+    fn capacity_miss_when_working_set_exceeds_cache() {
+        let cfg = CacheConfig::new(32, 2, 16).unwrap(); // FA, 2 lines
+        let mut c = Cache::new(cfg, true);
+        // Touch 3 distinct lines cyclically: steady-state misses are
+        // capacity (the FA shadow of equal size also misses).
+        for _ in 0..4 {
+            for line in 0..3u64 {
+                c.access(line * 16);
+            }
+        }
+        assert_eq!(c.stats().conflict_misses, 0);
+        assert!(c.stats().capacity_misses > 0);
+        assert_eq!(c.stats().cold_misses, 3);
+    }
+
+    #[test]
+    fn cold_misses_counted_once_per_line() {
+        let mut c = Cache::new(tiny(), true);
+        for _ in 0..3 {
+            for line in 0..8u64 {
+                c.access(line * 16);
+            }
+        }
+        assert_eq!(c.stats().cold_misses, 8);
+    }
+
+    #[test]
+    fn classification_can_be_disabled() {
+        let mut c = Cache::new(tiny(), false);
+        assert_eq!(c.access(0), AccessOutcome::Miss(None));
+        assert_eq!(c.stats().cold_misses, 0);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn flush_empties_but_keeps_history() {
+        let mut c = Cache::new(tiny(), true);
+        c.access(0);
+        c.flush();
+        assert!(!c.is_resident(0));
+        assert_eq!(c.resident_lines(), 0);
+        // Not cold again — the line has been seen.
+        assert_eq!(c.access(0), AccessOutcome::Miss(Some(MissKind::Capacity)));
+    }
+
+    #[test]
+    fn paper_cache_distinct_pages_no_conflict() {
+        // Two arrays laid out in *different* half-pages of the paper's
+        // 8 KB 2-way cache never conflict: they map to disjoint sets.
+        let cfg = CacheConfig::paper_default();
+        let mut c = Cache::new(cfg, true);
+        let half_page = cfg.page_bytes() / 2; // 2 KB
+        // Array 1 lives in the low half of each page, array 2 in the high
+        // half; two page-strided chunks each, so the combined working set
+        // (256 lines) exactly fills the cache and each set holds exactly
+        // `associativity` lines.
+        for rep in 0..3 {
+            let _ = rep;
+            for chunk in 0..2u64 {
+                let base1 = chunk * cfg.page_bytes();
+                let base2 = chunk * cfg.page_bytes() + half_page;
+                for off in (0..half_page).step_by(32) {
+                    c.access(base1 + off);
+                    c.access(base2 + off);
+                }
+            }
+        }
+        assert_eq!(c.stats().conflict_misses, 0);
+        // And everything fits: after the cold pass it is all hits.
+        assert_eq!(c.stats().misses, c.stats().cold_misses);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for simulator configuration and execution.
+
+use std::fmt;
+
+/// Result alias using the crate's [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by simulator configuration or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A cache/machine parameter is invalid (not a power of two, zero…).
+    InvalidConfig(String),
+    /// A core index is out of range.
+    NoSuchCore {
+        /// Requested core.
+        core: usize,
+        /// Number of cores in the machine.
+        num_cores: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::NoSuchCore { core, num_cores } => {
+                write!(f, "core {core} out of range (machine has {num_cores})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = Error::NoSuchCore {
+            core: 9,
+            num_cores: 8,
+        };
+        assert_eq!(e.to_string(), "core 9 out of range (machine has 8)");
+    }
+}

@@ -1,0 +1,67 @@
+//! An execution-driven embedded-MPSoC simulator: the substrate standing in
+//! for the Simics full-system simulator used in Section 4 of *Kandemir &
+//! Chen, "Locality-Aware Process Scheduling for Embedded MPSoCs",
+//! DATE 2005*.
+//!
+//! The paper's evaluation measures task completion time on an 8-core MPSoC
+//! where each core has a private 8 KB 2-way L1 cache (2-cycle access),
+//! off-chip memory costs 75 cycles, and the cores run at 200 MHz
+//! (Table 2). Everything the scheduling comparison depends on is the
+//! *cache behaviour under different process-to-core mappings*, which this
+//! crate models exactly:
+//!
+//! * [`CacheConfig`] / [`MachineConfig`] — geometry and latencies, with
+//!   [`MachineConfig::paper_default`] reproducing Table 2,
+//! * [`Cache`] — set-associative LRU with hit/miss statistics and
+//!   cold/capacity/conflict (3C) miss classification,
+//! * [`TraceOp`] — per-process memory-reference streams (never
+//!   materialized: generators yield ops lazily),
+//! * [`Bus`] — optional shared-bus contention for off-chip accesses,
+//! * [`Machine`] — N cores with private caches and per-core clocks; a
+//!   scheduling engine executes trace ops on cores in global time order,
+//! * [`EnergyModel`] — on-chip vs off-chip access energy, supporting the
+//!   paper's power-saving claims.
+//!
+//! What is deliberately *not* modelled (and why it does not affect the
+//! reproduction): instruction caches (the array-intensive loop kernels of
+//! the paper's benchmarks are loop-resident and affect all schedulers
+//! equally) and OS/device overheads (constant across policies). See
+//! DESIGN.md for the substitution argument.
+//!
+//! ```
+//! use lams_mpsoc::{Machine, MachineConfig, TraceOp};
+//!
+//! let mut m = Machine::new(MachineConfig::paper_default());
+//! // Two passes over the same 1 KiB: second pass hits in L1.
+//! for pass in 0..2 {
+//!     for a in (0..1024u64).step_by(4) {
+//!         m.exec_op(0, TraceOp::read(a)).unwrap();
+//!     }
+//!     if pass == 0 {
+//!         assert!(m.core_stats(0).unwrap().cache.misses > 0);
+//!     }
+//! }
+//! let s = m.core_stats(0).unwrap();
+//! assert!(s.cache.hit_rate() > 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod cache;
+mod config;
+mod energy;
+mod error;
+mod machine;
+mod stats;
+mod trace;
+
+pub use bus::Bus;
+pub use cache::{AccessOutcome, Cache, MissKind};
+pub use config::{BusConfig, CacheConfig, MachineConfig};
+pub use energy::EnergyModel;
+pub use error::{Error, Result};
+pub use machine::{CoreId, Machine};
+pub use stats::{CacheStats, CoreStats, MachineStats};
+pub use trace::{TraceOp, TraceStats};

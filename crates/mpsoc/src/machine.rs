@@ -1,0 +1,328 @@
+//! The MPSoC machine: N cores with private caches and per-core clocks.
+
+use std::fmt;
+
+use crate::{Bus, Cache, CoreStats, Error, MachineConfig, MachineStats, Result, TraceOp};
+
+/// Index of a processor core.
+pub type CoreId = usize;
+
+#[derive(Debug, Clone)]
+struct Core {
+    cache: Cache,
+    clock: u64,
+    stats: CoreStats,
+}
+
+/// An embedded MPSoC: cores with private L1 caches sharing off-chip
+/// memory (optionally through a contended bus).
+///
+/// The machine itself is *passive*: a scheduling engine decides which
+/// process trace executes on which core and feeds trace operations via
+/// [`Machine::exec_op`]. Each core has its own clock; executing an op on a
+/// core advances only that core's clock, so an engine can interleave cores
+/// in global time order (required for exact bus arbitration).
+///
+/// Caches persist across process switches on a core — that persistence is
+/// precisely the data reuse the paper's locality-aware scheduler exploits.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    cores: Vec<Core>,
+    bus: Option<Bus>,
+}
+
+impl Machine {
+    /// Creates a machine with cold caches and all clocks at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`Machine::try_new`] for a fallible variant.
+    pub fn new(config: MachineConfig) -> Self {
+        Machine::try_new(config).expect("invalid machine configuration")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the configuration fails
+    /// validation.
+    pub fn try_new(config: MachineConfig) -> Result<Self> {
+        config.validate()?;
+        let cores = (0..config.num_cores)
+            .map(|_| Core {
+                cache: Cache::new(config.cache, config.classify_misses),
+                clock: 0,
+                stats: CoreStats::default(),
+            })
+            .collect();
+        Ok(Machine {
+            config,
+            cores,
+            bus: config.bus.map(Bus::new),
+        })
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    fn core(&self, core: CoreId) -> Result<&Core> {
+        self.cores.get(core).ok_or(Error::NoSuchCore {
+            core,
+            num_cores: self.cores.len(),
+        })
+    }
+
+    fn core_mut(&mut self, core: CoreId) -> Result<&mut Core> {
+        let n = self.cores.len();
+        self.cores
+            .get_mut(core)
+            .ok_or(Error::NoSuchCore { core, num_cores: n })
+    }
+
+    /// Executes one trace op on a core, returning the cycles it took.
+    /// Advances the core's clock and statistics.
+    ///
+    /// Cost model: a compute op costs its cycle count; a cache hit costs
+    /// `hit_latency`; a miss costs `hit_latency + miss_latency` (probe
+    /// plus off-chip fetch) plus any bus waiting when a bus is configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchCore`] for an out-of-range core.
+    pub fn exec_op(&mut self, core: CoreId, op: TraceOp) -> Result<u64> {
+        // Split borrows: bus is separate from cores.
+        let n = self.cores.len();
+        let c = self
+            .cores
+            .get_mut(core)
+            .ok_or(Error::NoSuchCore { core, num_cores: n })?;
+        let cost = match op {
+            TraceOp::Compute(cycles) => cycles,
+            TraceOp::Access { addr, .. } => {
+                let outcome = c.cache.access(addr);
+                if outcome.is_hit() {
+                    self.config.hit_latency
+                } else {
+                    let mut cost = self.config.hit_latency + self.config.miss_latency;
+                    if let Some(bus) = &mut self.bus {
+                        let request_at = c.clock + self.config.hit_latency;
+                        let grant = bus.acquire(request_at);
+                        let wait = grant - request_at;
+                        c.stats.bus_wait_cycles += wait;
+                        cost += wait;
+                    }
+                    cost
+                }
+            }
+        };
+        c.clock += cost;
+        c.stats.busy_cycles += cost;
+        c.stats.ops += 1;
+        c.stats.cache = *c.cache.stats();
+        Ok(cost)
+    }
+
+    /// The core's current local clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchCore`] for an out-of-range core.
+    pub fn core_clock(&self, core: CoreId) -> Result<u64> {
+        Ok(self.core(core)?.clock)
+    }
+
+    /// Advances a core's clock to at least `to` (idle waiting, e.g. for a
+    /// dependence to resolve). Does nothing when the clock is already
+    /// past `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchCore`] for an out-of-range core.
+    pub fn wait_until(&mut self, core: CoreId, to: u64) -> Result<()> {
+        let c = self.core_mut(core)?;
+        c.clock = c.clock.max(to);
+        Ok(())
+    }
+
+    /// The core's statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchCore`] for an out-of-range core.
+    pub fn core_stats(&self, core: CoreId) -> Result<&CoreStats> {
+        Ok(&self.core(core)?.stats)
+    }
+
+    /// Read access to a core's cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchCore`] for an out-of-range core.
+    pub fn cache(&self, core: CoreId) -> Result<&Cache> {
+        Ok(&self.core(core)?.cache)
+    }
+
+    /// Flushes a core's cache (used to model e.g. context-switch
+    /// invalidation experiments; the default engine never flushes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchCore`] for an out-of-range core.
+    pub fn flush_cache(&mut self, core: CoreId) -> Result<()> {
+        self.core_mut(core)?.cache.flush();
+        Ok(())
+    }
+
+    /// The shared bus, when configured.
+    pub fn bus(&self) -> Option<&Bus> {
+        self.bus.as_ref()
+    }
+
+    /// Aggregated machine statistics.
+    pub fn stats(&self) -> MachineStats {
+        let mut s = MachineStats::default();
+        for c in &self.cores {
+            s.cache += c.stats.cache;
+            s.total_busy_cycles += c.stats.busy_cycles;
+            s.makespan_cycles = s.makespan_cycles.max(c.clock);
+        }
+        s
+    }
+
+    /// The maximum core clock — the completion time so far.
+    pub fn makespan(&self) -> u64 {
+        self.cores.iter().map(|c| c.clock).max().unwrap_or(0)
+    }
+
+    /// Resets clocks, caches and statistics.
+    pub fn reset(&mut self) {
+        *self = Machine::new(self.config);
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Machine[{}] @ {}", self.config, self.makespan())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BusConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::paper_default())
+    }
+
+    #[test]
+    fn compute_costs_its_cycles() {
+        let mut m = machine();
+        assert_eq!(m.exec_op(0, TraceOp::compute(10)).unwrap(), 10);
+        assert_eq!(m.core_clock(0).unwrap(), 10);
+        assert_eq!(m.core_clock(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn hit_and_miss_latencies() {
+        let mut m = machine();
+        // Cold miss: 2 + 75.
+        assert_eq!(m.exec_op(0, TraceOp::read(0)).unwrap(), 77);
+        // Hit on same line: 2.
+        assert_eq!(m.exec_op(0, TraceOp::read(4)).unwrap(), 2);
+        assert_eq!(m.core_clock(0).unwrap(), 79);
+        let s = m.core_stats(0).unwrap();
+        assert_eq!(s.cache.hits, 1);
+        assert_eq!(s.cache.misses, 1);
+        assert_eq!(s.ops, 2);
+    }
+
+    #[test]
+    fn caches_are_private() {
+        let mut m = machine();
+        m.exec_op(0, TraceOp::read(0)).unwrap();
+        // Same address on another core misses again: private caches.
+        assert_eq!(m.exec_op(1, TraceOp::read(0)).unwrap(), 77);
+    }
+
+    #[test]
+    fn cache_persists_across_virtual_process_switch() {
+        let mut m = machine();
+        // "Process 1" loads a line; "process 2" on the same core reuses it.
+        m.exec_op(0, TraceOp::read(128)).unwrap();
+        assert_eq!(m.exec_op(0, TraceOp::read(128)).unwrap(), 2);
+    }
+
+    #[test]
+    fn wait_until_moves_clock_monotonically() {
+        let mut m = machine();
+        m.wait_until(0, 100).unwrap();
+        assert_eq!(m.core_clock(0).unwrap(), 100);
+        m.wait_until(0, 50).unwrap();
+        assert_eq!(m.core_clock(0).unwrap(), 100);
+    }
+
+    #[test]
+    fn out_of_range_core_is_error() {
+        let mut m = machine();
+        assert!(matches!(
+            m.exec_op(8, TraceOp::read(0)),
+            Err(Error::NoSuchCore { core: 8, .. })
+        ));
+        assert!(m.core_clock(100).is_err());
+    }
+
+    #[test]
+    fn bus_contention_serializes_misses() {
+        let cfg = MachineConfig::paper_default().with_bus(BusConfig {
+            occupancy_cycles: 20,
+        });
+        let mut m = Machine::new(cfg);
+        // Both cores miss at their local time 0; the second is delayed.
+        let c0 = m.exec_op(0, TraceOp::read(0)).unwrap();
+        let c1 = m.exec_op(1, TraceOp::read(4096)).unwrap();
+        assert_eq!(c0, 77);
+        assert_eq!(c1, 77 + 20);
+        assert_eq!(m.core_stats(1).unwrap().bus_wait_cycles, 20);
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let mut m = machine();
+        m.exec_op(0, TraceOp::compute(10)).unwrap();
+        m.exec_op(3, TraceOp::compute(30)).unwrap();
+        assert_eq!(m.makespan(), 30);
+        let s = m.stats();
+        assert_eq!(s.makespan_cycles, 30);
+        assert_eq!(s.total_busy_cycles, 40);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let mut m = machine();
+        m.exec_op(0, TraceOp::read(0)).unwrap();
+        m.reset();
+        assert_eq!(m.makespan(), 0);
+        assert_eq!(m.core_stats(0).unwrap().ops, 0);
+        // Line is cold again after reset.
+        assert_eq!(m.exec_op(0, TraceOp::read(0)).unwrap(), 77);
+    }
+
+    #[test]
+    fn flush_forces_refetch() {
+        let mut m = machine();
+        m.exec_op(0, TraceOp::read(0)).unwrap();
+        m.flush_cache(0).unwrap();
+        assert_eq!(m.exec_op(0, TraceOp::read(0)).unwrap(), 77);
+    }
+}

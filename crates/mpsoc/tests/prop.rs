@@ -1,0 +1,113 @@
+//! Property tests for the cache model: LRU inclusion, 3C accounting,
+//! determinism, and capacity invariants.
+
+use proptest::prelude::*;
+
+use lams_mpsoc::{Cache, CacheConfig, Machine, MachineConfig, TraceOp};
+
+fn arb_trace() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..4096, 1..400)
+}
+
+proptest! {
+    /// LRU inclusion: with the same number of sets and line size, doubling
+    /// the associativity can never increase misses (each set is an
+    /// independent fully-associative LRU whose capacity grows).
+    #[test]
+    fn lru_inclusion_in_associativity(addrs in arb_trace()) {
+        // 16 sets x 16B lines; 1-way vs 2-way vs 4-way.
+        let cfgs = [
+            CacheConfig::new(16 * 16, 1, 16).unwrap(),
+            CacheConfig::new(16 * 16 * 2, 2, 16).unwrap(),
+            CacheConfig::new(16 * 16 * 4, 4, 16).unwrap(),
+        ];
+        let mut misses = Vec::new();
+        for cfg in cfgs {
+            prop_assert_eq!(cfg.num_sets(), 16);
+            let mut c = Cache::new(cfg, false);
+            for &a in &addrs {
+                c.access(a);
+            }
+            misses.push(c.stats().misses);
+        }
+        prop_assert!(misses[1] <= misses[0], "2-way missed more than 1-way");
+        prop_assert!(misses[2] <= misses[1], "4-way missed more than 2-way");
+    }
+
+    /// 3C accounting: cold + capacity + conflict == misses, and cold
+    /// misses equal the number of distinct lines touched... at most.
+    #[test]
+    fn three_c_accounting(addrs in arb_trace()) {
+        let cfg = CacheConfig::new(256, 2, 16).unwrap();
+        let mut c = Cache::new(cfg, true);
+        for &a in &addrs {
+            c.access(a);
+        }
+        let s = *c.stats();
+        prop_assert_eq!(s.cold_misses + s.capacity_misses + s.conflict_misses, s.misses);
+        let distinct_lines: std::collections::HashSet<u64> =
+            addrs.iter().map(|&a| cfg.line_of(a)).collect();
+        prop_assert_eq!(s.cold_misses, distinct_lines.len() as u64);
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+    }
+
+    /// A fully-associative cache has no conflict misses, ever.
+    #[test]
+    fn fully_associative_has_no_conflicts(addrs in arb_trace()) {
+        let cfg = CacheConfig::new(256, 16, 16).unwrap(); // 16 lines, FA
+        let mut c = Cache::new(cfg, true);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.stats().conflict_misses, 0);
+    }
+
+    /// Replaying a trace on a fresh cache gives identical statistics.
+    #[test]
+    fn determinism(addrs in arb_trace()) {
+        let cfg = CacheConfig::new(512, 2, 32).unwrap();
+        let run = |addrs: &[u64]| {
+            let mut c = Cache::new(cfg, true);
+            for &a in addrs {
+                c.access(a);
+            }
+            *c.stats()
+        };
+        prop_assert_eq!(run(&addrs), run(&addrs));
+    }
+
+    /// The cache never holds more lines than its capacity, and residency
+    /// implies a subsequent access hits.
+    #[test]
+    fn capacity_and_residency(addrs in arb_trace()) {
+        let cfg = CacheConfig::new(256, 2, 16).unwrap();
+        let mut c = Cache::new(cfg, false);
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.resident_lines() as u64 <= cfg.num_lines());
+        }
+        let last = *addrs.last().unwrap();
+        prop_assert!(c.is_resident(last));
+        prop_assert!(c.access(last).is_hit());
+    }
+
+    /// Machine-level: total time equals sum of op costs; makespan is the
+    /// max over cores.
+    #[test]
+    fn machine_time_accounting(
+        ops in prop::collection::vec((0usize..4, 0u64..2048, 0u64..10), 1..200)
+    ) {
+        let mut m = Machine::new(MachineConfig::paper_default().with_cores(4));
+        let mut per_core = [0u64; 4];
+        for (core, addr, compute) in ops {
+            let c1 = m.exec_op(core, TraceOp::read(addr)).unwrap();
+            let c2 = m.exec_op(core, TraceOp::compute(compute)).unwrap();
+            prop_assert_eq!(c2, compute);
+            per_core[core] += c1 + c2;
+        }
+        for (core, &expected) in per_core.iter().enumerate() {
+            prop_assert_eq!(m.core_clock(core).unwrap(), expected);
+        }
+        prop_assert_eq!(m.makespan(), *per_core.iter().max().unwrap());
+    }
+}

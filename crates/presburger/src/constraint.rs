@@ -1,0 +1,369 @@
+//! Affine constraints and conjunction systems.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{AffineExpr, Result, Var};
+
+/// The relation a [`Constraint`] asserts about its expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// `expr >= 0`
+    GeZero,
+    /// `expr == 0`
+    EqZero,
+}
+
+/// A single affine constraint, `expr >= 0` or `expr == 0`.
+///
+/// ```
+/// use lams_presburger::{AffineExpr, Constraint};
+/// // i2 < 3000  ==  3000 - 1 - i2 >= 0
+/// let c = Constraint::le(AffineExpr::var("i2"), AffineExpr::constant(2999));
+/// assert!(c.holds_env(&[("i2", 2999)].into_iter().map(|(n, v)| (n.into(), v)).collect()).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    expr: AffineExpr,
+    kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// `expr >= 0`.
+    pub fn ge_zero(expr: AffineExpr) -> Self {
+        Constraint {
+            expr,
+            kind: ConstraintKind::GeZero,
+        }
+        .normalized()
+    }
+
+    /// `expr == 0`.
+    pub fn eq_zero(expr: AffineExpr) -> Self {
+        Constraint {
+            expr,
+            kind: ConstraintKind::EqZero,
+        }
+        .normalized()
+    }
+
+    /// `lhs >= rhs`.
+    pub fn ge(lhs: AffineExpr, rhs: AffineExpr) -> Self {
+        Constraint::ge_zero(lhs - rhs)
+    }
+
+    /// `lhs <= rhs`.
+    pub fn le(lhs: AffineExpr, rhs: AffineExpr) -> Self {
+        Constraint::ge_zero(rhs - lhs)
+    }
+
+    /// `lhs < rhs` (integer semantics: `lhs <= rhs - 1`).
+    pub fn lt(lhs: AffineExpr, rhs: AffineExpr) -> Self {
+        Constraint::ge_zero(rhs - lhs - AffineExpr::constant(1))
+    }
+
+    /// `lhs > rhs` (integer semantics: `lhs >= rhs + 1`).
+    pub fn gt(lhs: AffineExpr, rhs: AffineExpr) -> Self {
+        Constraint::ge_zero(lhs - rhs - AffineExpr::constant(1))
+    }
+
+    /// `lhs == rhs`.
+    pub fn eq(lhs: AffineExpr, rhs: AffineExpr) -> Self {
+        Constraint::eq_zero(lhs - rhs)
+    }
+
+    /// The constrained expression.
+    pub fn expr(&self) -> &AffineExpr {
+        &self.expr
+    }
+
+    /// The relation kind.
+    pub fn kind(&self) -> ConstraintKind {
+        self.kind
+    }
+
+    /// Integer-tightens the constraint: divides by the gcd of the variable
+    /// coefficients, rounding the constant so the integer solution set is
+    /// unchanged (`floor` for `>= 0`).
+    fn normalized(mut self) -> Self {
+        let g = self.expr.coeff_gcd();
+        if g > 1 {
+            match self.kind {
+                ConstraintKind::GeZero => {
+                    // sum(ci*xi) + c >= 0 with g | ci  =>
+                    // sum(ci/g*xi) + floor(c/g) >= 0
+                    let c = self.expr.constant_part();
+                    let terms: Vec<(Var, i64)> = self
+                        .expr
+                        .terms()
+                        .map(|(v, coef)| (v.clone(), coef / g))
+                        .collect();
+                    self.expr = AffineExpr::from_terms(terms, c.div_euclid(g));
+                }
+                ConstraintKind::EqZero => {
+                    let c = self.expr.constant_part();
+                    if c % g == 0 {
+                        let terms: Vec<(Var, i64)> = self
+                            .expr
+                            .terms()
+                            .map(|(v, coef)| (v.clone(), coef / g))
+                            .collect();
+                        self.expr = AffineExpr::from_terms(terms, c / g);
+                    }
+                    // If g does not divide c the equality is infeasible over
+                    // the integers; we keep it as-is and let emptiness checks
+                    // discover that.
+                }
+            }
+        }
+        self
+    }
+
+    /// Evaluates the constraint at a positional point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::Error::UnboundVariable`] from expression
+    /// evaluation.
+    pub fn holds_point(&self, dims: &[Var], point: &[i64]) -> Result<bool> {
+        let v = self.expr.eval_point(dims, point)?;
+        Ok(match self.kind {
+            ConstraintKind::GeZero => v >= 0,
+            ConstraintKind::EqZero => v == 0,
+        })
+    }
+
+    /// Evaluates the constraint under a variable environment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::Error::UnboundVariable`] from expression
+    /// evaluation.
+    pub fn holds_env(&self, env: &BTreeMap<Var, i64>) -> Result<bool> {
+        let v = self.expr.eval(env)?;
+        Ok(match self.kind {
+            ConstraintKind::GeZero => v >= 0,
+            ConstraintKind::EqZero => v == 0,
+        })
+    }
+
+    /// Returns `true` when the constraint mentions `var`.
+    pub fn mentions(&self, var: &Var) -> bool {
+        self.expr.coeff(var.clone()) != 0
+    }
+
+    /// A trivially-false constraint (`-1 >= 0`), used to mark infeasible
+    /// systems.
+    pub fn unsatisfiable() -> Self {
+        Constraint {
+            expr: AffineExpr::constant(-1),
+            kind: ConstraintKind::GeZero,
+        }
+    }
+
+    /// Whether the constraint is a constant truth/falsehood, and which.
+    pub fn as_trivial(&self) -> Option<bool> {
+        if !self.expr.is_constant() {
+            return None;
+        }
+        let c = self.expr.constant_part();
+        Some(match self.kind {
+            ConstraintKind::GeZero => c >= 0,
+            ConstraintKind::EqZero => c == 0,
+        })
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ConstraintKind::GeZero => write!(f, "{} >= 0", self.expr),
+            ConstraintKind::EqZero => write!(f, "{} == 0", self.expr),
+        }
+    }
+}
+
+/// A conjunction of affine constraints over a shared set of variables.
+///
+/// This is the "formula" part of an [`crate::IterSpace`]; it can also be
+/// used standalone with [`fm`](crate::fm) for elimination and emptiness
+/// reasoning.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstraintSystem {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSystem {
+    /// Creates an empty (always-true) system.
+    pub fn new() -> Self {
+        ConstraintSystem::default()
+    }
+
+    /// Adds a constraint.
+    pub fn push(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// The constraints, in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the system has no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Conjunction of two systems.
+    pub fn and(&self, other: &ConstraintSystem) -> ConstraintSystem {
+        let mut out = self.clone();
+        out.constraints.extend(other.constraints.iter().cloned());
+        out
+    }
+
+    /// Tests all constraints at a positional point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::Error::UnboundVariable`].
+    pub fn holds_point(&self, dims: &[Var], point: &[i64]) -> Result<bool> {
+        for c in &self.constraints {
+            if !c.holds_point(dims, point)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// All variables mentioned by any constraint, deduplicated and sorted.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut vs: Vec<Var> = self
+            .constraints
+            .iter()
+            .flat_map(|c| c.expr().vars().cloned())
+            .collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+}
+
+impl FromIterator<Constraint> for ConstraintSystem {
+    fn from_iter<I: IntoIterator<Item = Constraint>>(iter: I) -> Self {
+        ConstraintSystem {
+            constraints: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Constraint> for ConstraintSystem {
+    fn extend<I: IntoIterator<Item = Constraint>>(&mut self, iter: I) {
+        self.constraints.extend(iter);
+    }
+}
+
+impl fmt::Display for ConstraintSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.constraints.is_empty() {
+            return write!(f, "true");
+        }
+        for (k, c) in self.constraints.iter().enumerate() {
+            if k > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(names: &[&str]) -> Vec<Var> {
+        names.iter().map(|n| Var::new(*n)).collect()
+    }
+
+    #[test]
+    fn relational_constructors() {
+        let d = dims(&["x"]);
+        let le = Constraint::le(AffineExpr::var("x"), AffineExpr::constant(5));
+        assert!(le.holds_point(&d, &[5]).unwrap());
+        assert!(!le.holds_point(&d, &[6]).unwrap());
+
+        let lt = Constraint::lt(AffineExpr::var("x"), AffineExpr::constant(5));
+        assert!(lt.holds_point(&d, &[4]).unwrap());
+        assert!(!lt.holds_point(&d, &[5]).unwrap());
+
+        let gt = Constraint::gt(AffineExpr::var("x"), AffineExpr::constant(5));
+        assert!(gt.holds_point(&d, &[6]).unwrap());
+        assert!(!gt.holds_point(&d, &[5]).unwrap());
+
+        let eq = Constraint::eq(AffineExpr::var("x"), AffineExpr::constant(5));
+        assert!(eq.holds_point(&d, &[5]).unwrap());
+        assert!(!eq.holds_point(&d, &[4]).unwrap());
+    }
+
+    #[test]
+    fn normalization_tightens_integer_bound() {
+        // 2x - 3 >= 0 over integers means x >= 2, i.e. x - 2 >= 0
+        // (floor(-3/2) = -2).
+        let c = Constraint::ge_zero(AffineExpr::term("x", 2) + AffineExpr::constant(-3));
+        assert_eq!(c.expr().coeff("x"), 1);
+        assert_eq!(c.expr().constant_part(), -2);
+        let d = dims(&["x"]);
+        assert!(!c.holds_point(&d, &[1]).unwrap());
+        assert!(c.holds_point(&d, &[2]).unwrap());
+    }
+
+    #[test]
+    fn normalization_divides_equality_when_possible() {
+        let c = Constraint::eq_zero(AffineExpr::term("x", 4) + AffineExpr::constant(-8));
+        assert_eq!(c.expr().coeff("x"), 1);
+        assert_eq!(c.expr().constant_part(), -2);
+        // 3x - 4 == 0 has no integer solution; normalization leaves it alone.
+        let c2 = Constraint::eq_zero(AffineExpr::term("x", 3) + AffineExpr::constant(-4));
+        assert_eq!(c2.expr().coeff("x"), 3);
+    }
+
+    #[test]
+    fn trivial_detection() {
+        assert_eq!(Constraint::unsatisfiable().as_trivial(), Some(false));
+        assert_eq!(
+            Constraint::ge_zero(AffineExpr::constant(0)).as_trivial(),
+            Some(true)
+        );
+        assert_eq!(Constraint::ge_zero(AffineExpr::var("x")).as_trivial(), None);
+    }
+
+    #[test]
+    fn system_conjunction_and_membership() {
+        let d = dims(&["i", "j"]);
+        let sys: ConstraintSystem = [
+            Constraint::ge(AffineExpr::var("i"), AffineExpr::constant(0)),
+            Constraint::lt(AffineExpr::var("i"), AffineExpr::constant(4)),
+            Constraint::eq(AffineExpr::var("j"), AffineExpr::var("i")),
+        ]
+        .into_iter()
+        .collect();
+        assert!(sys.holds_point(&d, &[2, 2]).unwrap());
+        assert!(!sys.holds_point(&d, &[2, 3]).unwrap());
+        assert!(!sys.holds_point(&d, &[4, 4]).unwrap());
+        assert_eq!(sys.vars(), dims(&["i", "j"]));
+    }
+
+    #[test]
+    fn display() {
+        let c = Constraint::ge(AffineExpr::var("x"), AffineExpr::constant(1));
+        assert_eq!(c.to_string(), "x - 1 >= 0");
+        let sys: ConstraintSystem = [c].into_iter().collect();
+        assert_eq!(sys.to_string(), "x - 1 >= 0");
+        assert_eq!(ConstraintSystem::new().to_string(), "true");
+    }
+}

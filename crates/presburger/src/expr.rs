@@ -1,0 +1,417 @@
+//! Integer affine expressions over named variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::{Error, Result};
+
+/// A variable name used in affine expressions and iteration spaces.
+///
+/// `Var` is a lightweight wrapper around a string; it exists so that
+/// signatures talk about variables rather than raw strings.
+///
+/// ```
+/// use lams_presburger::Var;
+/// let v = Var::new("i1");
+/// assert_eq!(v.name(), "i1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(String);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Var(name.into())
+    }
+
+    /// Returns the variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+impl From<String> for Var {
+    fn from(s: String) -> Self {
+        Var(s)
+    }
+}
+
+impl AsRef<str> for Var {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// An integer affine expression `c0 + c1*x1 + c2*x2 + …`.
+///
+/// Terms with zero coefficient are never stored, so two expressions that
+/// denote the same function compare equal.
+///
+/// ```
+/// use lams_presburger::AffineExpr;
+/// // 1000*i1 + i2 + 5
+/// let e = AffineExpr::term("i1", 1000) + AffineExpr::term("i2", 1) + AffineExpr::constant(5);
+/// assert_eq!(e.coeff("i1"), 1000);
+/// assert_eq!(e.constant_part(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AffineExpr {
+    coeffs: BTreeMap<Var, i64>,
+    constant: i64,
+}
+
+impl AffineExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        AffineExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: i64) -> Self {
+        AffineExpr {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// A single term `coeff * var`.
+    pub fn term(var: impl Into<Var>, coeff: i64) -> Self {
+        let mut coeffs = BTreeMap::new();
+        if coeff != 0 {
+            coeffs.insert(var.into(), coeff);
+        }
+        AffineExpr { coeffs, constant: 0 }
+    }
+
+    /// The variable `var` with coefficient 1.
+    pub fn var(var: impl Into<Var>) -> Self {
+        AffineExpr::term(var, 1)
+    }
+
+    /// Builds an expression from `(var, coeff)` pairs plus a constant.
+    ///
+    /// Repeated variables accumulate.
+    pub fn from_terms<I, V>(terms: I, constant: i64) -> Self
+    where
+        I: IntoIterator<Item = (V, i64)>,
+        V: Into<Var>,
+    {
+        let mut e = AffineExpr::constant(constant);
+        for (v, c) in terms {
+            e.add_term(v, c);
+        }
+        e
+    }
+
+    /// Adds `coeff * var` to the expression in place.
+    pub fn add_term(&mut self, var: impl Into<Var>, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        let var = var.into();
+        let entry = self.coeffs.entry(var.clone()).or_insert(0);
+        *entry += coeff;
+        if *entry == 0 {
+            self.coeffs.remove(&var);
+        }
+    }
+
+    /// Returns the coefficient of `var` (0 when absent).
+    pub fn coeff(&self, var: impl Into<Var>) -> i64 {
+        self.coeffs.get(&var.into()).copied().unwrap_or(0)
+    }
+
+    /// Returns the constant part of the expression.
+    pub fn constant_part(&self) -> i64 {
+        self.constant
+    }
+
+    /// Returns `true` when the expression is a constant (no variables).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Iterates over `(var, coeff)` pairs with non-zero coefficients,
+    /// in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Var, i64)> + '_ {
+        self.coeffs.iter().map(|(v, &c)| (v, c))
+    }
+
+    /// The set of variables with non-zero coefficients.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> + '_ {
+        self.coeffs.keys()
+    }
+
+    /// Number of variables with non-zero coefficients.
+    pub fn num_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the expression under an environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnboundVariable`] when a variable of the
+    /// expression is missing from `env`.
+    pub fn eval(&self, env: &BTreeMap<Var, i64>) -> Result<i64> {
+        let mut acc = self.constant;
+        for (v, c) in &self.coeffs {
+            let x = env
+                .get(v)
+                .copied()
+                .ok_or_else(|| Error::UnboundVariable(v.name().to_owned()))?;
+            acc += c * x;
+        }
+        Ok(acc)
+    }
+
+    /// Evaluates against a positional point: `dims[k]` names the variable
+    /// bound to `point[k]`. Variables not present in `dims` cause an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnboundVariable`] when a variable of the
+    /// expression is not named by `dims`.
+    pub fn eval_point(&self, dims: &[Var], point: &[i64]) -> Result<i64> {
+        debug_assert_eq!(dims.len(), point.len());
+        let mut acc = self.constant;
+        for (v, c) in &self.coeffs {
+            match dims.iter().position(|d| d == v) {
+                Some(k) => acc += c * point[k],
+                None => return Err(Error::UnboundVariable(v.name().to_owned())),
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Substitutes `var := replacement`, returning the new expression.
+    ///
+    /// ```
+    /// use lams_presburger::AffineExpr;
+    /// let e = AffineExpr::term("i", 3) + AffineExpr::constant(1);
+    /// let r = AffineExpr::var("j") + AffineExpr::constant(10);
+    /// // 3*(j + 10) + 1 = 3*j + 31
+    /// let s = e.substitute(&"i".into(), &r);
+    /// assert_eq!(s.coeff("j"), 3);
+    /// assert_eq!(s.constant_part(), 31);
+    /// ```
+    pub fn substitute(&self, var: &Var, replacement: &AffineExpr) -> AffineExpr {
+        let c = self.coeff(var.clone());
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs.remove(var);
+        out = out + replacement.clone() * c;
+        out
+    }
+
+    /// Multiplies every coefficient and the constant by `k`.
+    pub fn scale(&self, k: i64) -> AffineExpr {
+        if k == 0 {
+            return AffineExpr::zero();
+        }
+        AffineExpr {
+            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Greatest common divisor of all variable coefficients (0 when the
+    /// expression is constant). Useful for constraint normalization.
+    pub fn coeff_gcd(&self) -> i64 {
+        self.coeffs.values().fold(0i64, |g, &c| gcd(g, c.abs()))
+    }
+}
+
+/// Greatest common divisor (non-negative).
+pub(crate) fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Add for AffineExpr {
+    type Output = AffineExpr;
+    fn add(mut self, rhs: AffineExpr) -> AffineExpr {
+        self.constant += rhs.constant;
+        for (v, c) in rhs.coeffs {
+            self.add_term(v, c);
+        }
+        self
+    }
+}
+
+impl Sub for AffineExpr {
+    type Output = AffineExpr;
+    fn sub(self, rhs: AffineExpr) -> AffineExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for AffineExpr {
+    type Output = AffineExpr;
+    fn neg(self) -> AffineExpr {
+        self.scale(-1)
+    }
+}
+
+impl Mul<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn mul(self, rhs: i64) -> AffineExpr {
+        self.scale(rhs)
+    }
+}
+
+impl From<i64> for AffineExpr {
+    fn from(c: i64) -> Self {
+        AffineExpr::constant(c)
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.coeffs.is_empty() {
+            return write!(f, "{}", self.constant);
+        }
+        let mut first = true;
+        for (v, c) in &self.coeffs {
+            if first {
+                match *c {
+                    1 => write!(f, "{v}")?,
+                    -1 => write!(f, "-{v}")?,
+                    c => write!(f, "{c}*{v}")?,
+                }
+                first = false;
+            } else {
+                let sign = if *c >= 0 { "+" } else { "-" };
+                match c.abs() {
+                    1 => write!(f, " {sign} {v}")?,
+                    a => write!(f, " {sign} {a}*{v}")?,
+                }
+            }
+        }
+        match self.constant.cmp(&0) {
+            std::cmp::Ordering::Greater => write!(f, " + {}", self.constant)?,
+            std::cmp::Ordering::Less => write!(f, " - {}", -self.constant)?,
+            std::cmp::Ordering::Equal => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> BTreeMap<Var, i64> {
+        pairs.iter().map(|(n, v)| (Var::new(*n), *v)).collect()
+    }
+
+    #[test]
+    fn constant_expr() {
+        let e = AffineExpr::constant(42);
+        assert!(e.is_constant());
+        assert_eq!(e.eval(&env(&[])).unwrap(), 42);
+        assert_eq!(e.to_string(), "42");
+    }
+
+    #[test]
+    fn term_zero_coeff_is_dropped() {
+        let e = AffineExpr::term("x", 0);
+        assert!(e.is_constant());
+        assert_eq!(e, AffineExpr::zero());
+    }
+
+    #[test]
+    fn add_merges_and_cancels() {
+        let e = AffineExpr::term("x", 2) + AffineExpr::term("x", -2) + AffineExpr::term("y", 3);
+        assert_eq!(e.coeff("x"), 0);
+        assert_eq!(e.coeff("y"), 3);
+        assert_eq!(e.num_vars(), 1);
+    }
+
+    #[test]
+    fn eval_paper_access() {
+        // d1 = 1000*i1 + i2 at (i1,i2) = (3, 7) -> 3007
+        let d1 = AffineExpr::term("i1", 1000) + AffineExpr::term("i2", 1);
+        assert_eq!(d1.eval(&env(&[("i1", 3), ("i2", 7)])).unwrap(), 3007);
+    }
+
+    #[test]
+    fn eval_unbound_is_error() {
+        let e = AffineExpr::var("q");
+        assert_eq!(
+            e.eval(&env(&[("x", 1)])),
+            Err(Error::UnboundVariable("q".into()))
+        );
+    }
+
+    #[test]
+    fn eval_point_positional() {
+        let e = AffineExpr::term("a", 2) + AffineExpr::term("b", 5) + AffineExpr::constant(1);
+        let dims = [Var::new("a"), Var::new("b")];
+        assert_eq!(e.eval_point(&dims, &[10, 100]).unwrap(), 521);
+    }
+
+    #[test]
+    fn substitution() {
+        let e = AffineExpr::term("i", 4) + AffineExpr::term("j", 1);
+        let s = e.substitute(&Var::new("i"), &(AffineExpr::var("k") + AffineExpr::constant(2)));
+        assert_eq!(s.coeff("k"), 4);
+        assert_eq!(s.coeff("j"), 1);
+        assert_eq!(s.constant_part(), 8);
+        // substituting an absent variable is a no-op
+        let t = e.substitute(&Var::new("zz"), &AffineExpr::constant(9));
+        assert_eq!(t, e);
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let e = AffineExpr::term("x", 3) + AffineExpr::constant(-2);
+        let d = e.clone().scale(-2);
+        assert_eq!(d.coeff("x"), -6);
+        assert_eq!(d.constant_part(), 4);
+        assert_eq!(-e.clone(), e.scale(-1));
+        assert_eq!(e.scale(0), AffineExpr::zero());
+    }
+
+    #[test]
+    fn display_formatting() {
+        let e = AffineExpr::term("x", 1) + AffineExpr::term("y", -2) + AffineExpr::constant(-7);
+        assert_eq!(e.to_string(), "x - 2*y - 7");
+        let n = AffineExpr::term("x", -1);
+        assert_eq!(n.to_string(), "-x");
+    }
+
+    #[test]
+    fn gcd_of_coeffs() {
+        let e = AffineExpr::term("x", 6) + AffineExpr::term("y", -9);
+        assert_eq!(e.coeff_gcd(), 3);
+        assert_eq!(AffineExpr::constant(5).coeff_gcd(), 0);
+    }
+
+    #[test]
+    fn equal_functions_compare_equal() {
+        let a = AffineExpr::term("x", 1) + AffineExpr::term("y", 0);
+        let b = AffineExpr::var("x");
+        assert_eq!(a, b);
+    }
+}

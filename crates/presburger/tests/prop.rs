@@ -1,0 +1,128 @@
+//! Property-based tests: IndexSet algebra against a naive BTreeSet model,
+//! and closed-form images against brute-force enumeration.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use lams_presburger::{AffineExpr, AffineMap, IndexSet, IterSpace};
+
+/// A small random IndexSet together with its reference model.
+fn arb_set() -> impl Strategy<Value = (IndexSet, BTreeSet<i64>)> {
+    prop::collection::vec((-200i64..200, 0i64..40), 0..12).prop_map(|ranges| {
+        let mut s = IndexSet::new();
+        let mut m = BTreeSet::new();
+        for (start, len) in ranges {
+            s.insert_range(start, start + len);
+            m.extend(start..start + len);
+        }
+        (s, m)
+    })
+}
+
+proptest! {
+    #[test]
+    fn canonical_form_invariants((s, m) in arb_set()) {
+        // Sorted, disjoint, non-adjacent, non-empty runs.
+        let runs = s.intervals();
+        for w in runs.windows(2) {
+            prop_assert!(w[0].end < w[1].start, "runs must be disjoint and non-adjacent");
+        }
+        for r in runs {
+            prop_assert!(r.start < r.end, "runs must be non-empty");
+        }
+        prop_assert_eq!(s.len(), m.len() as u64);
+        prop_assert_eq!(s.iter().collect::<Vec<_>>(), m.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn union_matches_model((a, ma) in arb_set(), (b, mb) in arb_set()) {
+        let u = a.union(&b);
+        let mu: BTreeSet<i64> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(u.iter().collect::<Vec<_>>(), mu.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn intersect_matches_model((a, ma) in arb_set(), (b, mb) in arb_set()) {
+        let i = a.intersect(&b);
+        let mi: BTreeSet<i64> = ma.intersection(&mb).copied().collect();
+        prop_assert_eq!(i.iter().collect::<Vec<_>>(), mi.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn difference_matches_model((a, ma) in arb_set(), (b, mb) in arb_set()) {
+        let d = a.difference(&b);
+        let md: BTreeSet<i64> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(d.iter().collect::<Vec<_>>(), md.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn algebra_laws((a, _) in arb_set(), (b, _) in arb_set(), (c, _) in arb_set()) {
+        // Commutativity.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        // Associativity of union.
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        // Distribution: a ∩ (b ∪ c) = (a∩b) ∪ (a∩c).
+        prop_assert_eq!(
+            a.intersect(&b.union(&c)),
+            a.intersect(&b).union(&a.intersect(&c))
+        );
+        // Inclusion–exclusion on cardinalities.
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersect(&b).len(),
+            a.len() + b.len()
+        );
+        // Difference partitions.
+        prop_assert_eq!(a.difference(&b).len() + a.intersect(&b).len(), a.len());
+    }
+
+    #[test]
+    fn contains_matches_model((a, ma) in arb_set(), probe in -250i64..250) {
+        prop_assert_eq!(a.contains(probe), ma.contains(&probe));
+    }
+
+    #[test]
+    fn coarsen_matches_model((a, ma) in arb_set(), k in 1i64..17) {
+        let c = a.coarsen(k);
+        let mc: BTreeSet<i64> = ma.iter().map(|x| x.div_euclid(k)).collect();
+        prop_assert_eq!(c.iter().collect::<Vec<_>>(), mc.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn box_image_matches_bruteforce(
+        lo1 in -5i64..5, n1 in 1i64..6,
+        lo2 in -5i64..5, n2 in 1i64..6,
+        c1 in -12i64..12, c2 in -12i64..12, c0 in -20i64..20,
+    ) {
+        let space = IterSpace::builder()
+            .dim_range("i", lo1, lo1 + n1)
+            .dim_range("j", lo2, lo2 + n2)
+            .build().unwrap();
+        let expr = AffineExpr::term("i", c1) + AffineExpr::term("j", c2)
+            + AffineExpr::constant(c0);
+        let map = AffineMap::new(vec![expr]);
+        let img = space.image_1d(&map).unwrap();
+        let mut brute = BTreeSet::new();
+        for i in lo1..lo1 + n1 {
+            for j in lo2..lo2 + n2 {
+                brute.insert(c1 * i + c2 * j + c0);
+            }
+        }
+        prop_assert_eq!(
+            img.iter().collect::<Vec<_>>(),
+            brute.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn count_matches_iter(
+        n1 in 1i64..8, n2 in 1i64..8,
+    ) {
+        let space = IterSpace::builder()
+            .dim_range("i", 0, n1)
+            .dim_range("j", 0, n2)
+            .build().unwrap();
+        prop_assert_eq!(space.count().unwrap() as usize, space.iter().unwrap().count());
+    }
+}

@@ -1,0 +1,81 @@
+//! Graphviz (DOT) export for process graphs.
+
+use std::fmt::Write as _;
+
+use crate::ProcessGraph;
+
+impl ProcessGraph {
+    /// Renders the graph in Graphviz DOT syntax. Processes are clustered
+    /// by owning task when task information is available.
+    ///
+    /// ```
+    /// use lams_procgraph::{ProcessGraph, ProcessId};
+    /// let mut g = ProcessGraph::new();
+    /// g.add_node(ProcessId::new(0), None)?;
+    /// g.add_node(ProcessId::new(1), None)?;
+    /// g.add_edge(ProcessId::new(0), ProcessId::new(1))?;
+    /// let dot = g.to_dot("demo");
+    /// assert!(dot.contains("digraph demo"));
+    /// assert!(dot.contains("P0 -> P1"));
+    /// # Ok::<(), lams_procgraph::Error>(())
+    /// ```
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+
+        // Group nodes by task for cluster rendering.
+        let mut tasks: Vec<_> = self
+            .processes()
+            .filter_map(|p| self.task_of(p))
+            .collect();
+        tasks.sort();
+        tasks.dedup();
+
+        for t in &tasks {
+            let _ = writeln!(out, "  subgraph cluster_{} {{", t.index());
+            let _ = writeln!(out, "    label=\"{t}\";");
+            for p in self.processes() {
+                if self.task_of(p) == Some(*t) {
+                    let _ = writeln!(out, "    {p};");
+                }
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for p in self.processes() {
+            if self.task_of(p).is_none() {
+                let _ = writeln!(out, "  {p};");
+            }
+        }
+        for p in self.processes() {
+            for s in self.succs(p).expect("node exists") {
+                let _ = writeln!(out, "  {p} -> {s};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{EpgBuilder, ProcessId, Task, TaskId};
+
+    #[test]
+    fn dot_contains_clusters_and_edges() {
+        let t0 = Task::new(TaskId::new(0), "a", 2);
+        let t1 = Task::with_base(TaskId::new(1), "b", ProcessId::new(2), 1);
+        let mut b = EpgBuilder::new();
+        b.add_task(&t0).unwrap();
+        b.add_task(&t1).unwrap();
+        b.add_edge(t0.process(1), t1.process(0)).unwrap();
+        let g = b.build().unwrap();
+        let dot = g.to_dot("epg");
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("P1 -> P2;"));
+        assert!(dot.starts_with("digraph epg {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

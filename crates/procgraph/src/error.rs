@@ -1,0 +1,56 @@
+//! Error type for graph construction and queries.
+
+use std::fmt;
+
+use crate::ProcessId;
+
+/// Result alias using the crate's [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building or querying process graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The process is not a node of the graph.
+    UnknownProcess(ProcessId),
+    /// The process was added twice.
+    DuplicateProcess(ProcessId),
+    /// An edge from a process to itself was requested.
+    SelfDependence(ProcessId),
+    /// Adding the edge would create a dependence cycle.
+    WouldCycle {
+        /// Edge source.
+        from: ProcessId,
+        /// Edge destination.
+        to: ProcessId,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            Error::DuplicateProcess(p) => write!(f, "process {p} already present"),
+            Error::SelfDependence(p) => write!(f, "self dependence on {p}"),
+            Error::WouldCycle { from, to } => {
+                write!(f, "edge {from} -> {to} would create a dependence cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = Error::WouldCycle {
+            from: ProcessId::new(1),
+            to: ProcessId::new(2),
+        };
+        assert_eq!(e.to_string(), "edge P1 -> P2 would create a dependence cycle");
+    }
+}

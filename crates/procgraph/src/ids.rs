@@ -1,0 +1,85 @@
+//! Typed identifiers for tasks and processes.
+
+use std::fmt;
+
+/// Identifier of a task (an application in the paper's terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Creates a task id from a raw index.
+    pub const fn new(raw: u32) -> Self {
+        TaskId(raw)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(raw: u32) -> Self {
+        TaskId(raw)
+    }
+}
+
+/// Identifier of a process, unique within an EPG.
+///
+/// The paper notes that once an EPG is formed "each process has a unique
+/// id"; this type is that id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process id from a raw index.
+    pub const fn new(raw: u32) -> Self {
+        ProcessId(raw)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as `usize`, for table lookups.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(raw: u32) -> Self {
+        ProcessId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(TaskId::new(3).to_string(), "T3");
+        assert_eq!(ProcessId::new(12).to_string(), "P12");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert_eq!(ProcessId::new(5).as_usize(), 5);
+        assert_eq!(TaskId::from(7u32).index(), 7);
+    }
+}

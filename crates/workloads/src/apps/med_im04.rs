@@ -1,0 +1,158 @@
+//! Med-Im04 — medical image reconstruction (Table 1).
+//!
+//! A three-stage pipeline over an `n x n` image (24 processes):
+//!
+//! * stage A "filter" — 8 row-block processes, two passes over the
+//!   sinogram `S` with a shared 1-D filter `F`, producing `FS`,
+//! * stage B "backproject" — 8 row-block processes with ±half-block halo
+//!   (adjacent B processes share half their input rows, and each B
+//!   process consumes the `FS` rows of up to three A processes), a shared
+//!   angle table `LUT`, producing image `I`,
+//! * stage C "normalize" — 8 row-block processes re-reading and writing
+//!   `I` with a shared per-row scale `NORM`.
+//!
+//! Dependences: `A_m -> B_k` and `B_m -> C_k` for `m ∈ {k-1, k, k+1}`
+//! (clamped) — the halo pattern that gives the locality-aware scheduler
+//! its producer→consumer affinities.
+
+use lams_layout::{ArrayDecl, ArrayTable};
+
+use super::{halo, k, map1, map2, padded, rows_space, v};
+use crate::{AccessSpec, AppSpec, ProcessSpec, Scale};
+
+/// Builds the Med-Im04 application at the given scale.
+pub fn app(scale: Scale) -> AppSpec {
+    let n = scale.dim(32);
+    let p = 8i64;
+    let r = n / p;
+    // One halo row per side: keeps boundary and interior backprojects
+    // balanced, so the critical chain benefits from inherited cache
+    // state like every other chain.
+    let h = (r / 4).max(1);
+
+    let mut arrays = ArrayTable::new();
+    let s = arrays.push(ArrayDecl::new("S", padded(n), 4));
+    let f = arrays.push(ArrayDecl::new("F", vec![n], 4));
+    let fs = arrays.push(ArrayDecl::new("FS", padded(n), 4));
+    let lut = arrays.push(ArrayDecl::new("LUT", vec![n], 4));
+    // Backprojection angle coefficients, indexed by *local* row: every
+    // backproject process touches the whole table — the hot shared data
+    // that makes same-core chaining pay.
+    let ang = arrays.push(ArrayDecl::new("ANG", vec![2 * (r + 2 * h), n], 4));
+    let i_img = arrays.push(ArrayDecl::new("I", padded(n), 4));
+    let norm = arrays.push(ArrayDecl::new("NORM", vec![n], 4));
+
+    let mut processes = Vec::new();
+    let mut deps = Vec::new();
+
+    // Stage A: filter (2 passes).
+    for kk in 0..p {
+        processes.push(ProcessSpec {
+            name: format!("med.filter.{kk}"),
+            space: rows_space(scale.passes(2), kk * r, (kk + 1) * r, n),
+            accesses: vec![
+                AccessSpec::read(s, map2(v("i"), v("j"))),
+                AccessSpec::read(f, map1(v("j"))),
+                AccessSpec::write(fs, map2(v("i"), v("j"))),
+            ],
+            compute_cycles_per_iter: 2,
+        });
+    }
+    // Stage B: backproject with halo.
+    for kk in 0..p {
+        let (lo, hi) = halo(kk, r, h, n);
+        processes.push(ProcessSpec {
+            name: format!("med.backproject.{kk}"),
+            space: rows_space(scale.passes(1), lo, hi, n),
+            accesses: vec![
+                AccessSpec::read(fs, map2(v("i"), v("j"))),
+                AccessSpec::read(lut, map1(v("j"))),
+                AccessSpec::read(ang, map2(v("i") + k(-lo), v("j"))),
+                AccessSpec::read(ang, map2(v("i") + k(r + 2 * h - lo), v("j"))),
+                AccessSpec::write(i_img, map2(v("i"), v("j"))),
+            ],
+            compute_cycles_per_iter: 4,
+        });
+        for m in kk - 1..=kk + 1 {
+            if (0..p).contains(&m) {
+                deps.push((m as usize, (p + kk) as usize));
+            }
+        }
+    }
+    // Stage C: normalize.
+    for kk in 0..p {
+        processes.push(ProcessSpec {
+            name: format!("med.normalize.{kk}"),
+            space: rows_space(scale.passes(1), kk * r, (kk + 1) * r, n),
+            accesses: vec![
+                AccessSpec::read(i_img, map2(v("i"), v("j"))),
+                AccessSpec::read(norm, map1(v("i"))),
+                AccessSpec::write(i_img, map2(v("i"), v("j"))),
+            ],
+            compute_cycles_per_iter: 1,
+        });
+        for m in kk - 1..=kk + 1 {
+            if (0..p).contains(&m) {
+                deps.push(((p + m) as usize, (2 * p + kk) as usize));
+            }
+        }
+    }
+
+    AppSpec {
+        name: "Med-Im04".into(),
+        description: "medical image reconstruction".into(),
+        arrays,
+        processes,
+        deps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use lams_procgraph::ProcessId;
+
+    #[test]
+    fn has_24_processes() {
+        assert_eq!(app(Scale::Tiny).num_processes(), 24);
+    }
+
+    #[test]
+    fn backproject_neighbors_share_halo() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        let n = 16i64;
+        let r = n / 8;
+        // One halo row per side: keeps boundary and interior backprojects
+    // balanced, so the critical chain benefits from inherited cache
+    // state like every other chain.
+    let h = (r / 4).max(1);
+        // B_3 and B_4 (ids 11, 12) overlap in FS and I rows, and both
+        // read the whole LUT.
+        let shared = w
+            .data_set(ProcessId::new(11))
+            .shared_len(w.data_set(ProcessId::new(12)));
+        // Overlap rows: 2h rows in each of FS and I, plus the n-entry
+        // LUT, plus the two-bank 2(r + 2h) x n ANG coefficient table.
+        assert_eq!(shared as i64, 2 * (2 * h) * n + n + 2 * (r + 2 * h) * n);
+    }
+
+    #[test]
+    fn filter_feeds_three_backprojects() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        // Interior filter process 3 -> backproject 2,3,4.
+        let succs: Vec<_> = w.epg().succs(ProcessId::new(3)).unwrap().collect();
+        assert_eq!(
+            succs,
+            vec![ProcessId::new(10), ProcessId::new(11), ProcessId::new(12)]
+        );
+        // Boundary filter process 0 -> backproject 0,1 only.
+        assert_eq!(w.epg().out_degree(ProcessId::new(0)), 2);
+    }
+
+    #[test]
+    fn three_levels() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        assert_eq!(w.epg().levels().len(), 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! MxM — triple matrix multiplication `R = (A·B)·C` (Table 1).
+//!
+//! Structure (17 processes):
+//!
+//! * stage 1 — 8 processes, process `k` computes row block `k` of
+//!   `P1 = A·B` in *ikj* order (reads its `A` row block and streams all
+//!   of `B` row-wise once per block row — a capacity-bound sweep, since
+//!   `B` exceeds the 8 KB L1),
+//! * stage 2 — 8 processes, process `k` computes row block `k` of
+//!   `R = P1·C`; it depends only on stage-1 process `k` (it consumes the
+//!   `P1` rows that process produced — the paper's "processes that could
+//!   not execute at the same time but share data"),
+//! * final — 1 reduction process reading all of `R`.
+
+use lams_layout::{ArrayDecl, ArrayTable};
+use lams_presburger::IterSpace;
+
+use super::{k, map1, map2, v};
+use crate::{AccessSpec, AppSpec, ProcessSpec, Scale};
+
+/// Iteration space `(i, l, j)` over a row block: `i` in rows, `l` and
+/// `j` full range with `j` innermost — the standard cache-friendly *ikj*
+/// loop order, in which all three accesses (`A[i][l]`, `B[l][j]`,
+/// `P1[i][j]`) walk rows.
+fn mm_space(r0: i64, r1: i64, n: i64) -> IterSpace {
+    IterSpace::builder()
+        .dim_range("i", r0, r1)
+        // Half-depth partial product: keeps MxM's duration commensurate
+        // with the rest of the suite and its per-process B footprint
+        // within the L1.
+        .dim_range("l", 0, n / 2)
+        .dim_range("j", 0, n)
+        .build()
+        .expect("valid mm space")
+}
+
+/// Builds the MxM application at the given scale.
+pub fn app(scale: Scale) -> AppSpec {
+    let n = scale.dim(32);
+    let p = 8i64; // processes per stage
+    let r = n / p;
+
+    let mut arrays = ArrayTable::new();
+    // MxM deliberately uses exact power-of-two arrays with no allocation
+    // padding — the classic conflict-prone layout of dense linear
+    // algebra. Same-index row blocks of A/B/C/P1/R then collide in the
+    // cache, which is precisely the behaviour the paper's data re-layout
+    // (LSM) exists to repair; the other five applications model padded,
+    // benign allocations.
+    let a = arrays.push(ArrayDecl::new("A", vec![n, n], 4));
+    let b = arrays.push(ArrayDecl::new("B", vec![n, n], 4));
+    let c = arrays.push(ArrayDecl::new("C", vec![n, n], 4));
+    let p1 = arrays.push(ArrayDecl::new("P1", vec![n, n], 4));
+    let rr = arrays.push(ArrayDecl::new("R", vec![n, n], 4));
+    let sum = arrays.push(ArrayDecl::new("SUM", vec![16], 4));
+
+    let mut processes = Vec::new();
+    let mut deps = Vec::new();
+
+    // Stage 1: P1 = A * B.
+    for kk in 0..p {
+        processes.push(ProcessSpec {
+            name: format!("mxm.s1.{kk}"),
+            space: mm_space(kk * r, (kk + 1) * r, n),
+            accesses: vec![
+                AccessSpec::read(a, map2(v("i"), v("l"))),
+                AccessSpec::read(b, map2(v("l"), v("j"))),
+                AccessSpec::write(p1, map2(v("i"), v("j"))),
+            ],
+            compute_cycles_per_iter: 1,
+        });
+    }
+    // Stage 2: R = P1 * C; row block k needs only P1's row block k.
+    for kk in 0..p {
+        processes.push(ProcessSpec {
+            name: format!("mxm.s2.{kk}"),
+            space: mm_space(kk * r, (kk + 1) * r, n),
+            accesses: vec![
+                AccessSpec::read(p1, map2(v("i"), v("l"))),
+                AccessSpec::read(c, map2(v("l"), v("j"))),
+                AccessSpec::write(rr, map2(v("i"), v("j"))),
+            ],
+            compute_cycles_per_iter: 1,
+        });
+        deps.push((kk as usize, (p + kk) as usize));
+    }
+    // Final reduction over R.
+    processes.push(ProcessSpec {
+        name: "mxm.final".into(),
+        space: IterSpace::builder()
+            .dim_range("i", 0, n)
+            .dim_range("j", 0, n)
+            .build()
+            .expect("valid space"),
+        accesses: vec![
+            AccessSpec::read(rr, map2(v("i"), v("j"))),
+            AccessSpec::write(sum, map1(k(0))),
+        ],
+        compute_cycles_per_iter: 1,
+    });
+    for kk in 0..p as usize {
+        deps.push((p as usize + kk, 2 * p as usize));
+    }
+
+    AppSpec {
+        name: "MxM".into(),
+        description: "triple matrix multiplication".into(),
+        arrays,
+        processes,
+        deps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use lams_procgraph::ProcessId;
+
+    #[test]
+    fn has_17_processes() {
+        assert_eq!(app(Scale::Tiny).num_processes(), 17);
+    }
+
+    #[test]
+    fn stage2_shares_p1_block_with_its_producer() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        let n = 16i64; // Tiny dim
+        let r = n / 8;
+        // s1.0 writes P1's full row block 0 (r x n); s2.0 reads only
+        // the first n/2 columns of it (half-depth partial product), so
+        // the shared set is r * n/2 elements.
+        let s = w
+            .data_set(ProcessId::new(0))
+            .shared_len(w.data_set(ProcessId::new(8)));
+        assert_eq!(s, (r * n / 2) as u64);
+        // s1.0 and s2.1 share nothing.
+        assert_eq!(
+            w.data_set(ProcessId::new(0))
+                .shared_len(w.data_set(ProcessId::new(9))),
+            0
+        );
+    }
+
+    #[test]
+    fn final_depends_on_all_stage2() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        let fin = ProcessId::new(16);
+        assert_eq!(w.epg().in_degree(fin), 8);
+        assert_eq!(w.epg().leaves().collect::<Vec<_>>(), vec![fin]);
+        assert_eq!(w.epg().levels().len(), 3);
+    }
+}

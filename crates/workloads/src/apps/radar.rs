@@ -1,0 +1,159 @@
+//! Radar — radar imaging (range–Doppler processing, Table 1).
+//!
+//! Four stages over an `n x n` data cube slice (25 processes):
+//!
+//! * stage 1 "range" — 8 row-block processes, two windowed passes over
+//!   raw echoes (`RAW`, shared window `WIN`) producing `RNG`,
+//! * stage 2 "doppler" — 8 *column*-block processes reading `RNG` in
+//!   column order (the corner turn; a strided, conflict-prone sweep)
+//!   producing `DOP`. The corner turn makes every stage-2 process depend
+//!   on every stage-1 process,
+//! * stage 3 "cfar" — 8 row-block processes with halo over `DOP`
+//!   producing `CF`; again all-to-all dependent on stage 2,
+//! * stage 4 "detect" — 1 process scanning `CF` into `DET`.
+
+use lams_layout::{ArrayDecl, ArrayTable};
+use lams_presburger::IterSpace;
+
+use super::{halo, k, map1, map2, padded, rows_space, v};
+use crate::{AccessSpec, AppSpec, ProcessSpec, Scale};
+
+/// Column-block iteration space `(rep, t, c)`: all rows `t`, columns
+/// `[c0, c1)` with `c` innermost — the blocked corner turn, which walks
+/// each row's 8-column strip within a cache line before striding a full
+/// row (a naive `t`-innermost turn would touch one element per line and
+/// thrash pathologically; real radar pipelines block the transpose).
+fn cols_space(passes: i64, c0: i64, c1: i64, rows: i64) -> IterSpace {
+    IterSpace::builder()
+        .dim_range("rep", 0, passes)
+        .dim_range("t", 0, rows)
+        .dim_range("c", c0, c1)
+        .build()
+        .expect("valid column space")
+}
+
+/// Builds the Radar application at the given scale.
+pub fn app(scale: Scale) -> AppSpec {
+    let n = scale.dim(32);
+    let p = 8i64;
+    let r = n / p;
+    let h = r / 2;
+
+    let mut arrays = ArrayTable::new();
+    let raw = arrays.push(ArrayDecl::new("RAW", padded(n), 4));
+    let win = arrays.push(ArrayDecl::new("WIN", vec![n], 4));
+    let rng = arrays.push(ArrayDecl::new("RNG", padded(n), 4));
+    let dop = arrays.push(ArrayDecl::new("DOP", padded(n), 4));
+    let cf = arrays.push(ArrayDecl::new("CF", padded(n), 4));
+    let det = arrays.push(ArrayDecl::new("DET", vec![n], 4));
+    // CFAR window coefficients per local row, shared by every cfar
+    // process.
+    let cfk = arrays.push(ArrayDecl::new("CFK", vec![2 * (r + 2 * h), n], 4));
+
+    let mut processes = Vec::new();
+    let mut deps = Vec::new();
+
+    // Stage 1: range compression (rows, 2 passes).
+    for kk in 0..p {
+        processes.push(ProcessSpec {
+            name: format!("radar.range.{kk}"),
+            space: rows_space(scale.passes(2), kk * r, (kk + 1) * r, n),
+            accesses: vec![
+                AccessSpec::read(raw, map2(v("i"), v("j"))),
+                AccessSpec::read(win, map1(v("j"))),
+                AccessSpec::write(rng, map2(v("i"), v("j"))),
+            ],
+            compute_cycles_per_iter: 3,
+        });
+    }
+    // Stage 2: Doppler (columns, corner turn): all-to-all deps on stage 1.
+    for kk in 0..p {
+        processes.push(ProcessSpec {
+            name: format!("radar.doppler.{kk}"),
+            space: cols_space(scale.passes(2), kk * r, (kk + 1) * r, n),
+            accesses: vec![
+                AccessSpec::read(rng, map2(v("t"), v("c"))),
+                AccessSpec::write(dop, map2(v("t"), v("c"))),
+            ],
+            compute_cycles_per_iter: 3,
+        });
+        for m in 0..p {
+            deps.push((m as usize, (p + kk) as usize));
+        }
+    }
+    // Stage 3: CFAR (rows with halo): all-to-all deps on stage 2.
+    for kk in 0..p {
+        let (lo, hi) = halo(kk, r, h, n);
+        processes.push(ProcessSpec {
+            name: format!("radar.cfar.{kk}"),
+            space: rows_space(scale.passes(1), lo, hi, n),
+            accesses: vec![
+                AccessSpec::read(dop, map2(v("i"), v("j"))),
+                AccessSpec::read(cfk, map2(v("i") + k(-lo), v("j"))),
+                AccessSpec::read(cfk, map2(v("i") + k(r + 2 * h - lo), v("j"))),
+                AccessSpec::write(cf, map2(v("i"), v("j"))),
+            ],
+            compute_cycles_per_iter: 4,
+        });
+        for m in 0..p {
+            deps.push(((p + m) as usize, (2 * p + kk) as usize));
+        }
+    }
+    // Stage 4: detection merge.
+    processes.push(ProcessSpec {
+        name: "radar.detect".into(),
+        space: rows_space(scale.passes(1), 0, n, n),
+        accesses: vec![
+            AccessSpec::read(cf, map2(v("i"), v("j"))),
+            AccessSpec::write(det, map1(v("i"))),
+        ],
+        compute_cycles_per_iter: 1,
+    });
+    for m in 0..p as usize {
+        deps.push((2 * p as usize + m, 3 * p as usize));
+    }
+
+    AppSpec {
+        name: "Radar".into(),
+        description: "radar imaging".into(),
+        arrays,
+        processes,
+        deps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use lams_procgraph::ProcessId;
+
+    #[test]
+    fn has_25_processes() {
+        assert_eq!(app(Scale::Tiny).num_processes(), 25);
+    }
+
+    #[test]
+    fn corner_turn_sharing_is_block_intersection() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        let n = 16i64;
+        let r = n / 8;
+        // range.0 (rows 0..r of RNG) and doppler.3 (cols 3r..4r of RNG):
+        // share the r x r intersection block.
+        let s = w
+            .data_set(ProcessId::new(0))
+            .shared_len(w.data_set(ProcessId::new(11)));
+        assert_eq!(s as i64, r * r);
+    }
+
+    #[test]
+    fn four_levels_and_barriers() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        let g = w.epg();
+        assert_eq!(g.levels().len(), 4);
+        // Doppler process depends on all 8 range processes.
+        assert_eq!(g.in_degree(ProcessId::new(8)), 8);
+        // Detect depends on all 8 CFAR processes.
+        assert_eq!(g.in_degree(ProcessId::new(24)), 8);
+    }
+}

@@ -1,0 +1,168 @@
+//! Shape — pattern recognition and shape analysis (Table 1).
+//!
+//! The smallest suite member (9 processes), quadrant-parallel over an
+//! `n x n` image:
+//!
+//! * 4 "edge" processes — one per image quadrant, two passes with ±halo
+//!   into the neighbouring quadrants (so adjacent edge processes share
+//!   boundary strips of `IMG` and `EDG`),
+//! * 4 "moment" processes — each consumes its quadrant of the edge map
+//!   and reduces it into a per-quadrant moment vector `MOM`,
+//! * 1 "classify" process — reads all moments against a reference set.
+//!
+//! Dependences: `edge_q -> moment_p` for every quadrant `p` whose region
+//! process `q` wrote into (itself plus edge-adjacent quadrants), and all
+//! moments feed the classifier.
+
+use lams_layout::{ArrayDecl, ArrayTable};
+use lams_presburger::IterSpace;
+
+use super::{k, map1, map2, padded, v};
+use crate::{AccessSpec, AppSpec, ProcessSpec, Scale};
+
+/// 2-D block space with passes: `(rep, i, j)` over `[r0,r1) x [c0,c1)`.
+fn block_space(passes: i64, r0: i64, r1: i64, c0: i64, c1: i64) -> IterSpace {
+    IterSpace::builder()
+        .dim_range("rep", 0, passes)
+        .dim_range("i", r0, r1)
+        .dim_range("j", c0, c1)
+        .build()
+        .expect("valid block space")
+}
+
+/// Builds the Shape application at the given scale.
+pub fn app(scale: Scale) -> AppSpec {
+    let n = scale.dim(32);
+    let q = n / 2; // quadrant side
+    let h = n / 16; // halo
+
+    let mut arrays = ArrayTable::new();
+    let img = arrays.push(ArrayDecl::new("IMG", padded(n), 4));
+    let edg = arrays.push(ArrayDecl::new("EDG", padded(n), 4));
+    let mom = arrays.push(ArrayDecl::new("MOM", vec![4, q], 4));
+    let refs = arrays.push(ArrayDecl::new("REF", vec![q], 4));
+    let out = arrays.push(ArrayDecl::new("OUT", vec![16], 4));
+    // Edge kernel weights per local (row, col) offset within a quadrant
+    // block; every edge process touches the whole table.
+    let krn = arrays.push(ArrayDecl::new("KRN", vec![2 * (q + 2 * h), q + 2 * h], 4));
+
+    let mut processes = Vec::new();
+    let mut deps = Vec::new();
+
+    let quadrant = |idx: i64| ((idx / 2) * q, (idx % 2) * q); // (row0, col0)
+
+    // Edge detection per quadrant, with halo, 2 passes.
+    for qq in 0..4i64 {
+        let (r0, c0) = quadrant(qq);
+        processes.push(ProcessSpec {
+            name: format!("shape.edge.{qq}"),
+            space: block_space(
+                scale.passes(2),
+                (r0 - h).max(0),
+                (r0 + q + h).min(n),
+                (c0 - h).max(0),
+                (c0 + q + h).min(n),
+            ),
+            accesses: vec![
+                AccessSpec::read(img, map2(v("i"), v("j"))),
+                AccessSpec::read(krn, map2(v("i") + k(-(r0 - h).max(0)), v("j") + k(-(c0 - h).max(0)))),
+                AccessSpec::read(krn, map2(v("i") + k(q + 2 * h - (r0 - h).max(0)), v("j") + k(-(c0 - h).max(0)))),
+                AccessSpec::write(edg, map2(v("i"), v("j"))),
+            ],
+            compute_cycles_per_iter: 3,
+        });
+    }
+    // Moments per quadrant (exact quadrant, no halo).
+    for qq in 0..4i64 {
+        let (r0, c0) = quadrant(qq);
+        processes.push(ProcessSpec {
+            name: format!("shape.moment.{qq}"),
+            space: block_space(scale.passes(2), r0, r0 + q, c0, c0 + q),
+            accesses: vec![
+                AccessSpec::read(edg, map2(v("i"), v("j"))),
+                // Accumulate into row qq of MOM, column (i - r0).
+                AccessSpec::write(mom, map2(k(qq), v("i") + k(-r0))),
+            ],
+            compute_cycles_per_iter: 2,
+        });
+        // The quadrant's own edge process plus edge-adjacent quadrants
+        // wrote into this region (via halos).
+        for e in 0..4i64 {
+            let (er, ec) = quadrant(e);
+            let row_adj = er == r0 || (er - r0).abs() == q;
+            let col_adj = ec == c0 || (ec - c0).abs() == q;
+            let diagonal = er != r0 && ec != c0;
+            if row_adj && col_adj && !diagonal {
+                deps.push((e as usize, 4 + qq as usize));
+            }
+        }
+    }
+    // Classifier.
+    processes.push(ProcessSpec {
+        name: "shape.classify".into(),
+        space: block_space(scale.passes(1), 0, 4, 0, q),
+        accesses: vec![
+            AccessSpec::read(mom, map2(v("i"), v("j"))),
+            AccessSpec::read(refs, map1(v("j"))),
+            AccessSpec::write(out, map1(v("i"))),
+        ],
+        compute_cycles_per_iter: 2,
+    });
+    for m in 0..4usize {
+        deps.push((4 + m, 8));
+    }
+
+    AppSpec {
+        name: "Shape".into(),
+        description: "pattern recognition and shape analysis".into(),
+        arrays,
+        processes,
+        deps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use lams_procgraph::ProcessId;
+
+    #[test]
+    fn has_9_processes() {
+        assert_eq!(app(Scale::Tiny).num_processes(), 9);
+    }
+
+    #[test]
+    fn adjacent_edges_share_halo_strips() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        // Quadrants 0 (top-left) and 1 (top-right) share vertical strips.
+        let s01 = w
+            .data_set(ProcessId::new(0))
+            .shared_len(w.data_set(ProcessId::new(1)));
+        assert!(s01 > 0);
+        // Diagonal quadrants 0 and 3 share only the centre corner block.
+        let s03 = w
+            .data_set(ProcessId::new(0))
+            .shared_len(w.data_set(ProcessId::new(3)));
+        assert!(s03 < s01);
+    }
+
+    #[test]
+    fn moment_deps_exclude_diagonal() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        // moment.0 (id 4) depends on edge 0 (itself), 1 (right), 2 (below)
+        // but not 3 (diagonal).
+        let preds: Vec<_> = w.epg().preds(ProcessId::new(4)).unwrap().collect();
+        assert_eq!(
+            preds,
+            vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]
+        );
+    }
+
+    #[test]
+    fn classifier_is_sink() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        assert_eq!(w.epg().in_degree(ProcessId::new(8)), 4);
+        assert_eq!(w.epg().leaves().collect::<Vec<_>>(), vec![ProcessId::new(8)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Track — visual tracking control (Table 1).
+//!
+//! Four independent tracker pipelines of three processes each
+//! (12 processes): `predict_k -> match_k -> update_k`. The match stage
+//! scans a frame row band (with halo, so adjacent matchers share frame
+//! rows); predict/update exchange small per-track state blocks — the
+//! classic "small intermediate data, huge win if kept on one core"
+//! pattern for the locality-aware scheduler.
+
+use lams_layout::{ArrayDecl, ArrayTable};
+
+use super::{halo, k, line_space, map2, padded, rows_space, v};
+use crate::{AccessSpec, AppSpec, ProcessSpec, Scale};
+
+/// Builds the Track application at the given scale.
+pub fn app(scale: Scale) -> AppSpec {
+    let n = scale.dim(32);
+    let p = 4i64; // trackers
+    let r = n / p; // frame band per tracker
+    let h = r / 2;
+    let sl = n; // per-track state length
+
+    let mut arrays = ArrayTable::new();
+    let f = arrays.push(ArrayDecl::new("F", padded(n), 4));
+    let t = arrays.push(ArrayDecl::new("T", vec![p, sl], 4));
+    let pred = arrays.push(ArrayDecl::new("PRED", vec![p, sl], 4));
+    let tmpl = arrays.push(ArrayDecl::new("TMPL", vec![p, sl], 4));
+    let score = arrays.push(ArrayDecl::new("SCORE", vec![p, sl], 4));
+    // Matcher gain map per local row, shared by all four matchers.
+    let gain = arrays.push(ArrayDecl::new("GAIN", vec![2 * (r + 2 * h), n], 4));
+
+    let mut processes = Vec::new();
+    let mut deps = Vec::new();
+
+    // Predict: T[k] -> PRED[k] (small, two passes).
+    for kk in 0..p {
+        processes.push(ProcessSpec {
+            name: format!("track.predict.{kk}"),
+            space: line_space(scale.passes(2), 0, sl),
+            accesses: vec![
+                AccessSpec::read(t, map2(k(kk), v("i"))),
+                AccessSpec::write(pred, map2(k(kk), v("i"))),
+            ],
+            compute_cycles_per_iter: 2,
+        });
+    }
+    // Match: frame band (with halo) against template, guided by PRED.
+    for kk in 0..p {
+        let (lo, hi) = halo(kk, r, h, n);
+        processes.push(ProcessSpec {
+            name: format!("track.match.{kk}"),
+            space: rows_space(scale.passes(2), lo, hi, n),
+            accesses: vec![
+                AccessSpec::read(f, map2(v("i"), v("j"))),
+                AccessSpec::read(tmpl, map2(k(kk), v("j"))),
+                AccessSpec::read(pred, map2(k(kk), v("j"))),
+                AccessSpec::read(gain, map2(v("i") + k(-lo), v("j"))),
+                AccessSpec::read(gain, map2(v("i") + k(r + 2 * h - lo), v("j"))),
+                AccessSpec::write(score, map2(k(kk), v("j"))),
+            ],
+            compute_cycles_per_iter: 3,
+        });
+        deps.push((kk as usize, (p + kk) as usize));
+    }
+    // Update: SCORE[k] + PRED[k] -> T[k].
+    for kk in 0..p {
+        processes.push(ProcessSpec {
+            name: format!("track.update.{kk}"),
+            space: line_space(scale.passes(2), 0, sl),
+            accesses: vec![
+                AccessSpec::read(score, map2(k(kk), v("i"))),
+                AccessSpec::read(pred, map2(k(kk), v("i"))),
+                AccessSpec::write(t, map2(k(kk), v("i"))),
+            ],
+            compute_cycles_per_iter: 2,
+        });
+        deps.push(((p + kk) as usize, (2 * p + kk) as usize));
+    }
+
+    AppSpec {
+        name: "Track".into(),
+        description: "visual tracking control".into(),
+        arrays,
+        processes,
+        deps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use lams_procgraph::ProcessId;
+
+    #[test]
+    fn has_12_processes() {
+        assert_eq!(app(Scale::Tiny).num_processes(), 12);
+    }
+
+    #[test]
+    fn pipelines_are_chains() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        let g = w.epg();
+        // predict.0 -> match.0 -> update.0
+        assert!(g.is_reachable(ProcessId::new(0), ProcessId::new(8)));
+        // Chains are independent across trackers.
+        assert!(!g.is_reachable(ProcessId::new(0), ProcessId::new(9)));
+        assert_eq!(g.levels().len(), 3);
+        assert_eq!(g.roots().count(), 4);
+    }
+
+    #[test]
+    fn pipeline_stages_share_state() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        let sl = 16u64; // Tiny state length
+        // predict.1 and match.1 share PRED[1].
+        let s = w
+            .data_set(ProcessId::new(1))
+            .shared_len(w.data_set(ProcessId::new(5)));
+        assert_eq!(s, sl);
+        // match.1 and update.1 share SCORE[1] + PRED[1].
+        let s2 = w
+            .data_set(ProcessId::new(5))
+            .shared_len(w.data_set(ProcessId::new(9)));
+        assert_eq!(s2, 2 * sl);
+        // Cross-tracker predict/match share nothing.
+        assert_eq!(
+            w.data_set(ProcessId::new(0))
+                .shared_len(w.data_set(ProcessId::new(6))),
+            0
+        );
+    }
+
+    #[test]
+    fn adjacent_matchers_share_frame_rows() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        let n = 16i64;
+        let r = n / 4;
+        let h = r / 2;
+        let s = w
+            .data_set(ProcessId::new(5))
+            .shared_len(w.data_set(ProcessId::new(6)));
+        // Overlapping frame rows (2h rows of n columns) plus the shared
+        // two-bank 2(r + 2h) x n GAIN map.
+        assert_eq!(s as i64, 2 * h * n + 2 * (r + 2 * h) * n);
+    }
+}

@@ -1,0 +1,206 @@
+//! Usonic — feature-based object recognition from ultrasonic imaging
+//! (Table 1). The largest suite member: 37 processes in five stages.
+//!
+//! * 8 "beamform" processes — each fuses a *pair* of transducer channels
+//!   (`CH[2k]`, `CH[2k+1]`, shared window `W`) into a beamformed tile
+//!   `BF[k]`, in two passes (apodization + coherent sum),
+//! * 16 "envelope" processes — two per beamformed tile, each detecting
+//!   the envelope of one half-tile (`BF[k]` rows split in two) into
+//!   `ENV[k]`; each depends on a single beamformer, so consumers become
+//!   ready the instant their producer finishes,
+//! * 8 "feature" processes — a pass over `ENV[f]` with a shared lookup
+//!   table and a two-bank filter table `FK`, reducing to feature vectors
+//!   `FEAT[f]`,
+//! * 4 "match" processes — each compares a pair of feature vectors
+//!   against a reference set,
+//! * 1 "decide" process — final fusion.
+
+use lams_layout::{ArrayDecl, ArrayTable};
+use lams_presburger::IterSpace;
+
+use super::{k, map1, map2, map3, padded3, v};
+use crate::{AccessSpec, AppSpec, ProcessSpec, Scale};
+
+/// `(rep, i, j)` over rows `[r0, r1)` of an `m`-column tile.
+fn tile_rows(passes: i64, r0: i64, r1: i64, m: i64) -> IterSpace {
+    IterSpace::builder()
+        .dim_range("rep", 0, passes)
+        .dim_range("i", r0, r1)
+        .dim_range("j", 0, m)
+        .build()
+        .expect("valid tile space")
+}
+
+/// Builds the Usonic application at the given scale.
+pub fn app(scale: Scale) -> AppSpec {
+    let m = scale.dim(16);
+    let half = m / 2;
+
+    let mut arrays = ArrayTable::new();
+    let ch = arrays.push(ArrayDecl::new("CH", padded3(16, m), 4));
+    let w = arrays.push(ArrayDecl::new("W", vec![m], 4));
+    let bf = arrays.push(ArrayDecl::new("BF", padded3(8, m), 4));
+    let env = arrays.push(ArrayDecl::new("ENV", padded3(8, m), 4));
+    let lut = arrays.push(ArrayDecl::new("LUT", vec![m], 4));
+    let feat = arrays.push(ArrayDecl::new("FEAT", vec![8, m], 4));
+    // Feature filter bank (two banks), shared by every feature process.
+    let fk = arrays.push(ArrayDecl::new("FK", vec![2 * m, m], 4));
+    let refs = arrays.push(ArrayDecl::new("REF", vec![4, m], 4));
+    let sc = arrays.push(ArrayDecl::new("SC", vec![4, m], 4));
+    let out = arrays.push(ArrayDecl::new("OUT", vec![16], 4));
+
+    let mut processes = Vec::new();
+    let mut deps = Vec::new();
+
+    // Beamform (8): two channels -> one tile, two passes.
+    for kk in 0..8i64 {
+        processes.push(ProcessSpec {
+            name: format!("usonic.beamform.{kk}"),
+            space: tile_rows(scale.passes(2), 0, m, m),
+            accesses: vec![
+                AccessSpec::read(ch, map3(k(2 * kk), v("i"), v("j"))),
+                AccessSpec::read(ch, map3(k(2 * kk + 1), v("i"), v("j"))),
+                AccessSpec::read(w, map1(v("j"))),
+                AccessSpec::write(bf, map3(k(kk), v("i"), v("j"))),
+            ],
+            compute_cycles_per_iter: 3,
+        });
+    }
+    // Envelope (16): one half-tile each, single dependence on its
+    // beamformer.
+    for e in 0..16i64 {
+        let tile = e / 2;
+        let r0 = (e % 2) * half;
+        processes.push(ProcessSpec {
+            name: format!("usonic.envelope.{e}"),
+            space: tile_rows(scale.passes(1), r0, r0 + half, m),
+            accesses: vec![
+                AccessSpec::read(bf, map3(k(tile), v("i"), v("j"))),
+                AccessSpec::write(env, map3(k(tile), v("i"), v("j"))),
+            ],
+            compute_cycles_per_iter: 2,
+        });
+        deps.push((tile as usize, (8 + e) as usize));
+    }
+    // Feature extraction (8).
+    for f in 0..8i64 {
+        processes.push(ProcessSpec {
+            name: format!("usonic.feature.{f}"),
+            space: tile_rows(scale.passes(1), 0, m, m),
+            accesses: vec![
+                AccessSpec::read(env, map3(k(f), v("i"), v("j"))),
+                AccessSpec::read(lut, map1(v("j"))),
+                AccessSpec::read(fk, map2(v("i"), v("j"))),
+                AccessSpec::read(fk, map2(v("i") + k(m), v("j"))),
+                AccessSpec::write(feat, map2(k(f), v("i"))),
+            ],
+            compute_cycles_per_iter: 4,
+        });
+        deps.push(((8 + 2 * f) as usize, (24 + f) as usize));
+        deps.push(((8 + 2 * f + 1) as usize, (24 + f) as usize));
+    }
+    // Match (4): feature pairs against references.
+    for mm in 0..4i64 {
+        processes.push(ProcessSpec {
+            name: format!("usonic.match.{mm}"),
+            space: IterSpace::builder()
+                .dim_range("rep", 0, scale.passes(2))
+                .dim_range("i", 0, m)
+                .build()
+                .expect("valid space"),
+            accesses: vec![
+                AccessSpec::read(feat, map2(k(2 * mm), v("i"))),
+                AccessSpec::read(feat, map2(k(2 * mm + 1), v("i"))),
+                AccessSpec::read(refs, map2(k(mm), v("i"))),
+                AccessSpec::write(sc, map2(k(mm), v("i"))),
+            ],
+            compute_cycles_per_iter: 2,
+        });
+        deps.push(((24 + 2 * mm) as usize, (32 + mm) as usize));
+        deps.push(((24 + 2 * mm + 1) as usize, (32 + mm) as usize));
+    }
+    // Decide (1).
+    processes.push(ProcessSpec {
+        name: "usonic.decide".into(),
+        space: IterSpace::builder()
+            .dim_range("i", 0, 4)
+            .dim_range("j", 0, m)
+            .build()
+            .expect("valid space"),
+        accesses: vec![
+            AccessSpec::read(sc, map2(v("i"), v("j"))),
+            AccessSpec::write(out, map1(v("i"))),
+        ],
+        compute_cycles_per_iter: 1,
+    });
+    for mm in 0..4usize {
+        deps.push((32 + mm, 36));
+    }
+
+    AppSpec {
+        name: "Usonic".into(),
+        description: "feature-based object recognition".into(),
+        arrays,
+        processes,
+        deps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use lams_procgraph::ProcessId;
+
+    #[test]
+    fn has_37_processes() {
+        assert_eq!(app(Scale::Tiny).num_processes(), 37);
+    }
+
+    #[test]
+    fn eight_roots_five_levels() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        assert_eq!(w.epg().roots().count(), 8);
+        assert_eq!(w.epg().levels().len(), 5);
+    }
+
+    #[test]
+    fn envelope_has_single_parent_and_shares_half_tile() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        let m = 8u64; // Tiny
+        // envelope.0 (id 8) depends only on beamform.0 and shares its
+        // half tile of BF and ENV... ENV is written by envelope only, so
+        // the share with its beamformer is the BF half tile.
+        let env0 = ProcessId::new(8);
+        assert_eq!(w.epg().in_degree(env0), 1);
+        let s = w.data_set(ProcessId::new(0)).shared_len(w.data_set(env0));
+        assert_eq!(s, (m / 2) * m);
+        // Sibling envelopes of the same tile share nothing (disjoint
+        // halves of BF and ENV).
+        let env1 = ProcessId::new(9);
+        assert_eq!(w.data_set(env0).shared_len(w.data_set(env1)), 0);
+        // Different beamformers share only the window W.
+        let s = w
+            .data_set(ProcessId::new(0))
+            .shared_len(w.data_set(ProcessId::new(1)));
+        assert_eq!(s, m);
+    }
+
+    #[test]
+    fn features_share_filter_bank() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        let m = 8u64;
+        let (f0, f1) = (ProcessId::new(24), ProcessId::new(25));
+        // FK (both banks) + LUT are common; ENV tiles are disjoint.
+        let s = w.data_set(f0).shared_len(w.data_set(f1));
+        assert_eq!(s, 2 * m * m + m);
+    }
+
+    #[test]
+    fn decide_is_unique_sink() {
+        let w = Workload::single(app(Scale::Tiny)).unwrap();
+        let g = w.epg();
+        assert_eq!(g.leaves().collect::<Vec<_>>(), vec![ProcessId::new(36)]);
+        assert_eq!(g.in_degree(ProcessId::new(36)), 4);
+    }
+}

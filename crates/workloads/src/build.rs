@@ -1,0 +1,342 @@
+//! Compiling [`AppSpec`]s into a runnable [`Workload`].
+
+use std::fmt;
+
+use lams_layout::{ArrayId, ArrayTable, Layout};
+use lams_presburger::{AffineMap, DataSet, Var};
+use lams_procgraph::{EpgBuilder, ProcessGraph, ProcessId, Task, TaskId};
+
+use crate::trace::Trace;
+use crate::{AccessKind, AppSpec, Result};
+
+/// A process's access with global array ids and the subscript map
+/// linearized against the array extents (coefficients aligned with the
+/// iteration dimensions).
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedAccess {
+    pub(crate) array: ArrayId,
+    pub(crate) coeffs: Vec<i64>,
+    pub(crate) constant: i64,
+    pub(crate) write: bool,
+}
+
+/// Everything the engine needs to know about one process.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedProcess {
+    pub(crate) name: String,
+    pub(crate) task: TaskId,
+    pub(crate) dims: Vec<Var>,
+    pub(crate) bbox: Vec<(i64, i64)>,
+    pub(crate) is_box: bool,
+    pub(crate) space: lams_presburger::IterSpace,
+    pub(crate) accesses: Vec<ResolvedAccess>,
+    pub(crate) compute: u64,
+    pub(crate) data_set: DataSet<ArrayId>,
+    pub(crate) num_iters: u64,
+}
+
+/// Summary information about one process of a workload.
+///
+/// Returned by [`Workload::process`]; useful for reports and debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessHandle {
+    /// The process's global id.
+    pub id: ProcessId,
+    /// Its task.
+    pub task: TaskId,
+    /// Human-readable name (`"app.stage.k"`).
+    pub name: String,
+    /// Iterations in its loop nest.
+    pub num_iters: u64,
+    /// Memory accesses per iteration.
+    pub accesses_per_iter: usize,
+}
+
+/// One or more applications compiled into global process/array id space:
+/// the unit the scheduling engine runs.
+///
+/// Use [`Workload::single`] for the paper's isolated experiments
+/// (Figure 6) and [`Workload::concurrent`] for the multi-application
+/// mixes (Figure 7).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: String,
+    arrays: ArrayTable,
+    epg: ProcessGraph,
+    tasks: Vec<Task>,
+    procs: Vec<ResolvedProcess>,
+}
+
+impl Workload {
+    /// Compiles a single application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and footprint-computation failures.
+    pub fn single(app: AppSpec) -> Result<Self> {
+        Workload::concurrent(vec![app])
+    }
+
+    /// Compiles several applications for concurrent execution. Arrays
+    /// and processes receive globally unique ids; there are no
+    /// inter-application dependences or shared arrays (matching the
+    /// paper's workload construction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and footprint-computation failures.
+    pub fn concurrent(apps: Vec<AppSpec>) -> Result<Self> {
+        let mut arrays = ArrayTable::new();
+        let mut builder = EpgBuilder::new();
+        let mut tasks = Vec::new();
+        let mut procs: Vec<ResolvedProcess> = Vec::new();
+        let mut names = Vec::new();
+
+        for (ti, app) in apps.iter().enumerate() {
+            app.validate()?;
+            names.push(app.name.clone());
+            let array_off = arrays.merge(&app.arrays);
+            // Real loaders place each application's data segment on a page
+            // boundary; that systematic cross-application alignment is the
+            // conflict source the paper's data re-layout targets.
+            if !app.arrays.is_empty() {
+                arrays.set_align(lams_layout::ArrayId::new(array_off), 4096);
+            }
+            let task = Task::with_base(
+                TaskId::new(ti as u32),
+                app.name.clone(),
+                ProcessId::new(procs.len() as u32),
+                app.processes.len() as u32,
+            );
+            builder.add_task(&task)?;
+            for &(from, to) in &app.deps {
+                builder.add_edge(task.process(from as u32), task.process(to as u32))?;
+            }
+
+            for p in &app.processes {
+                let dims = p.space.dims().to_vec();
+                let bbox = p.space.bounding_box()?;
+                let is_box = p.space.is_box();
+                let num_iters = p.space.count()?;
+                let mut accesses = Vec::with_capacity(p.accesses.len());
+                let mut data_set = DataSet::new();
+                for a in &p.accesses {
+                    let global = ArrayId::new(array_off + a.array.index());
+                    let decl = app.arrays.get(a.array).expect("validated");
+                    let lin = a.map.linearized(decl.extents())?;
+                    let coeffs: Vec<i64> =
+                        dims.iter().map(|d| lin.coeff(d.clone())).collect();
+                    // Exact element footprint via the Presburger machinery.
+                    let img = p.space.image_1d(&AffineMap::new(vec![lin.clone()]))?;
+                    data_set.insert(global, img);
+                    accesses.push(ResolvedAccess {
+                        array: global,
+                        coeffs,
+                        constant: lin.constant_part(),
+                        write: matches!(a.kind, AccessKind::Write),
+                    });
+                }
+                procs.push(ResolvedProcess {
+                    name: p.name.clone(),
+                    task: task.id(),
+                    dims,
+                    bbox,
+                    is_box,
+                    space: p.space.clone(),
+                    accesses,
+                    compute: p.compute_cycles_per_iter,
+                    data_set,
+                    num_iters,
+                });
+            }
+            tasks.push(task);
+        }
+
+        Ok(Workload {
+            name: names.join("+"),
+            arrays,
+            epg: builder.build()?,
+            tasks,
+            procs,
+        })
+    }
+
+    /// The workload's name (application names joined with `+`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of processes across all applications.
+    pub fn num_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// All process ids, ascending.
+    pub fn process_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.procs.len() as u32).map(ProcessId::new)
+    }
+
+    /// The merged array table.
+    pub fn arrays(&self) -> &ArrayTable {
+        &self.arrays
+    }
+
+    /// The extended process graph (intra-task dependences; inter-task
+    /// edges can be added by callers that need them).
+    pub fn epg(&self) -> &ProcessGraph {
+        &self.epg
+    }
+
+    /// The tasks, in application order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    fn resolved(&self, p: ProcessId) -> &ResolvedProcess {
+        &self.procs[p.as_usize()]
+    }
+
+    /// Summary info for a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is out of range.
+    pub fn process(&self, p: ProcessId) -> ProcessHandle {
+        let r = self.resolved(p);
+        ProcessHandle {
+            id: p,
+            task: r.task,
+            name: r.name.clone(),
+            num_iters: r.num_iters,
+            accesses_per_iter: r.accesses.len(),
+        }
+    }
+
+    /// The exact element-granularity data set (footprint) of a process,
+    /// keyed by global array id — the paper's `DS` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is out of range.
+    pub fn data_set(&self, p: ProcessId) -> &DataSet<ArrayId> {
+        &self.resolved(p).data_set
+    }
+
+    /// The arrays a process touches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is out of range.
+    pub fn arrays_of(&self, p: ProcessId) -> Vec<ArrayId> {
+        self.resolved(p).data_set.arrays().copied().collect()
+    }
+
+    /// Total trace operations a process will emit
+    /// (`iterations × (accesses + 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is out of range.
+    pub fn trace_len(&self, p: ProcessId) -> u64 {
+        let r = self.resolved(p);
+        r.num_iters * (r.accesses.len() as u64 + 1)
+    }
+
+    /// Lazily generates the process's memory trace, resolving element
+    /// indices to byte addresses through `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is out of range.
+    pub fn trace<'a>(&'a self, p: ProcessId, layout: &'a Layout) -> Trace<'a> {
+        Trace::new(self.resolved(p), layout)
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Workload {} ({} processes, {} arrays)",
+            self.name,
+            self.procs.len(),
+            self.arrays.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessSpec, ProcessSpec};
+    use lams_layout::ArrayDecl;
+    use lams_presburger::{AffineExpr, IterSpace};
+
+    fn demo_app(name: &str) -> AppSpec {
+        let mut arrays = ArrayTable::new();
+        let a = arrays.push(ArrayDecl::new("A", vec![64], 4));
+        let b = arrays.push(ArrayDecl::new("B", vec![64], 4));
+        let mk = |nm: &str, arr, lo, hi| ProcessSpec {
+            name: nm.to_string(),
+            space: IterSpace::builder().dim_range("i", lo, hi).build().unwrap(),
+            accesses: vec![
+                AccessSpec::read(arr, AffineMap::new(vec![AffineExpr::var("i")])),
+                AccessSpec::write(b, AffineMap::new(vec![AffineExpr::var("i")])),
+            ],
+            compute_cycles_per_iter: 1,
+        };
+        AppSpec {
+            name: name.into(),
+            description: "demo".into(),
+            arrays,
+            processes: vec![mk("p0", a, 0, 32), mk("p1", a, 16, 48)],
+            deps: vec![(0, 1)],
+        }
+    }
+
+    #[test]
+    fn single_builds_epg_and_footprints() {
+        let w = Workload::single(demo_app("d")).unwrap();
+        assert_eq!(w.num_processes(), 2);
+        assert_eq!(w.epg().num_edges(), 1);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        // p0 reads A[0..32), p1 reads A[16..48): share 16 elements of A
+        // and 48... B overlap: p0 writes B[0..32), p1 B[16..48) -> 16.
+        assert_eq!(w.data_set(p0).shared_len(w.data_set(p1)), 32);
+        assert_eq!(w.arrays_of(p0).len(), 2);
+        assert_eq!(w.trace_len(p0), 32 * 3);
+        assert_eq!(w.process(p1).name, "p1");
+    }
+
+    #[test]
+    fn concurrent_apps_share_nothing() {
+        let w =
+            Workload::concurrent(vec![demo_app("x"), demo_app("y")]).unwrap();
+        assert_eq!(w.num_processes(), 4);
+        assert_eq!(w.arrays().len(), 4);
+        assert_eq!(w.tasks().len(), 2);
+        let (x0, y0) = (ProcessId::new(0), ProcessId::new(2));
+        // Same shapes, different arrays: zero sharing across apps.
+        assert_eq!(w.data_set(x0).shared_len(w.data_set(y0)), 0);
+        assert_eq!(w.name(), "x+y");
+        // Dependences stay within tasks.
+        assert_eq!(w.epg().num_edges(), 2);
+        assert_eq!(w.epg().task_of(y0), Some(TaskId::new(1)));
+    }
+
+    #[test]
+    fn trace_resolves_addresses() {
+        let w = Workload::single(demo_app("d")).unwrap();
+        let layout = Layout::linear(w.arrays());
+        let ops: Vec<_> = w.trace(ProcessId::new(0), &layout).collect();
+        assert_eq!(ops.len(), 32 * 3);
+        // First iteration: read A[0], write B[0], compute.
+        use lams_mpsoc::TraceOp;
+        let a0 = layout.addr(ArrayId::new(0), 0);
+        let b0 = layout.addr(ArrayId::new(1), 0);
+        assert_eq!(ops[0], TraceOp::read(a0));
+        assert_eq!(ops[1], TraceOp::write(b0));
+        assert_eq!(ops[2], TraceOp::compute(1));
+    }
+}

@@ -1,0 +1,128 @@
+//! The running example of the paper's Figure 1: Prog1 and Prog2.
+
+use lams_layout::{ArrayDecl, ArrayTable};
+use lams_presburger::{AffineExpr, AffineMap, IterSpace};
+
+use crate::{AccessSpec, AppSpec, ProcessSpec};
+
+/// Builds one of the two Figure 1 fragments. `main_array` is `"A"` for
+/// Prog1 and `"D"` for Prog2.
+fn prog(name: &str, main_array: &str) -> AppSpec {
+    let mut arrays = ArrayTable::new();
+    // A[i1*1000 + i2][5] with i1 < 8, i2 < 3000 reaches row 9999.
+    let a = arrays.push(ArrayDecl::new(main_array, vec![10_000, 10], 4));
+    let b = arrays.push(ArrayDecl::new(format!("B_{name}"), vec![8], 4));
+
+    let processes = (0..8)
+        .map(|k| {
+            let space = IterSpace::builder()
+                .dim_range("i2", 0, 3000)
+                .build()
+                .expect("valid space");
+            // d1 = 1000*k + i2, d2 = 5.
+            let a_map = AffineMap::new(vec![
+                AffineExpr::var("i2") + AffineExpr::constant(1000 * k),
+                AffineExpr::constant(5),
+            ]);
+            let b_map = AffineMap::new(vec![AffineExpr::constant(k)]);
+            ProcessSpec {
+                name: format!("{name}.p{k}"),
+                space,
+                accesses: vec![
+                    AccessSpec::read(a, a_map),
+                    AccessSpec::read(b, b_map.clone()),
+                    AccessSpec::write(b, b_map),
+                ],
+                compute_cycles_per_iter: 1,
+            }
+        })
+        .collect();
+
+    AppSpec {
+        name: name.to_owned(),
+        description: format!("Figure 1 fragment ({name}): B[i1] += {main_array}[i1*1000+i2][5]"),
+        arrays,
+        processes,
+        deps: Vec::new(),
+    }
+}
+
+/// Prog1 of Figure 1: eight processes, process `k` executing
+/// `B[k] += A[1000*k + i2][5]` for `0 <= i2 < 3000`.
+///
+/// Its pairwise shared-element counts reproduce Figure 2(a) exactly:
+/// adjacent processes share 2000 elements of `A`, processes two apart
+/// share 1000, and all other pairs share nothing.
+///
+/// ```
+/// use lams_workloads::{prog1, Workload};
+/// use lams_procgraph::ProcessId;
+///
+/// let w = Workload::single(prog1()).unwrap();
+/// let ds = |k| w.data_set(ProcessId::new(k));
+/// assert_eq!(ds(0).shared_len(ds(1)), 2000);
+/// assert_eq!(ds(0).shared_len(ds(2)), 1000);
+/// assert_eq!(ds(0).shared_len(ds(3)), 0);
+/// ```
+pub fn prog1() -> AppSpec {
+    prog("prog1", "A")
+}
+
+/// Prog2 of Figure 1: identical structure to [`prog1`] but over array
+/// `D`, so it shares no data with Prog1 — the conflict-miss scenario the
+/// paper's data re-layout targets.
+pub fn prog2() -> AppSpec {
+    prog("prog2", "D")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use lams_procgraph::ProcessId;
+
+    #[test]
+    fn prog1_matches_figure_2a() {
+        let w = Workload::single(prog1()).unwrap();
+        let ds = |k: u32| w.data_set(ProcessId::new(k));
+        // Figure 2(a): M[p][p±1] = 2000, M[p][p±2] = 1000, else 0
+        // (B adds nothing across processes: each touches its own B[k]).
+        for p in 0..8u32 {
+            for q in 0..8u32 {
+                let expect = match (p as i32 - q as i32).abs() {
+                    0 => continue,
+                    1 => 2000,
+                    2 => 1000,
+                    _ => 0,
+                };
+                assert_eq!(
+                    ds(p).shared_len(ds(q)),
+                    expect,
+                    "sharing between P{p} and P{q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prog1_prog2_share_nothing() {
+        let w = Workload::concurrent(vec![prog1(), prog2()]).unwrap();
+        assert_eq!(w.num_processes(), 16);
+        for p in 0..8u32 {
+            for q in 8..16u32 {
+                assert_eq!(
+                    w.data_set(ProcessId::new(p))
+                        .shared_len(w.data_set(ProcessId::new(q))),
+                    0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prog1_trace_volume() {
+        let w = Workload::single(prog1()).unwrap();
+        // 3000 iterations x (3 accesses + 1 compute).
+        assert_eq!(w.trace_len(ProcessId::new(0)), 3000 * 4);
+    }
+}

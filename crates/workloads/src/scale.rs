@@ -1,0 +1,84 @@
+//! Problem-size scaling for the benchmark suite.
+
+use std::fmt;
+
+/// How large to build each application's arrays and iteration counts.
+///
+/// The paper reports wall-clock seconds on a 200 MHz MPSoC; simulating
+/// the full problem sizes is unnecessary for reproducing the *relative*
+/// behaviour of the four schedulers, so the suite is generated at one of
+/// three scales:
+///
+/// * `Tiny` — minimal sizes for unit tests (sub-second full runs),
+/// * `Small` — the default for examples and quick experiments,
+/// * `Paper` — the size used by the `lams-bench` harness for the
+///   Figure 6 / Figure 7 reproductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Minimal, for tests.
+    Tiny,
+    /// Default, for examples.
+    #[default]
+    Small,
+    /// Benchmark-harness size.
+    Paper,
+}
+
+impl Scale {
+    /// A baseline grid dimension `n`, scaled. `base` is the `Small` value
+    /// and must be divisible by 2 so that `Tiny` stays well-formed.
+    ///
+    /// `Paper` deliberately keeps the `Small` dimensions: the suite's
+    /// working sets are sized against the fixed 8 KB L1 of Table 2, and
+    /// inflating footprints past the cache would change the *mechanism*
+    /// under study (conflict/reuse behaviour) rather than just the run
+    /// length. Longer paper-scale runs come from [`Scale::passes`].
+    pub fn dim(self, base: i64) -> i64 {
+        match self {
+            Scale::Tiny => (base / 2).max(8),
+            Scale::Small | Scale::Paper => base,
+        }
+    }
+
+    /// Scales a repetition (pass) count: `Paper` quadruples it to lengthen
+    /// runs for stable benchmark timing.
+    pub fn passes(self, base: i64) -> i64 {
+        match self {
+            Scale::Tiny | Scale::Small => base,
+            Scale::Paper => base * 4,
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scale::Tiny => write!(f, "tiny"),
+            Scale::Small => write!(f, "small"),
+            Scale::Paper => write!(f, "paper"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_and_passes_scale_as_documented() {
+        assert!(Scale::Tiny.dim(64) < Scale::Small.dim(64));
+        assert_eq!(Scale::Small.dim(64), 64);
+        // Paper keeps footprints, lengthens runs.
+        assert_eq!(Scale::Paper.dim(64), 64);
+        assert_eq!(Scale::Tiny.dim(64), 32);
+        // Floor for very small bases.
+        assert_eq!(Scale::Tiny.dim(8), 8);
+        assert_eq!(Scale::Small.passes(2), 2);
+        assert_eq!(Scale::Paper.passes(2), 8);
+    }
+
+    #[test]
+    fn default_is_small() {
+        assert_eq!(Scale::default(), Scale::Small);
+    }
+}

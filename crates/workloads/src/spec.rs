@@ -1,0 +1,208 @@
+//! Declarative application specifications.
+
+use std::fmt;
+
+use lams_layout::{ArrayId, ArrayTable};
+use lams_presburger::{AffineMap, IterSpace};
+
+use crate::{Error, Result};
+
+/// Whether an access reads or writes the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store (write-allocate; latency-identical to a load in the
+    /// simulator).
+    Write,
+}
+
+/// One array reference inside a process's loop nest: which array, and the
+/// affine map from iteration variables to array subscripts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessSpec {
+    /// The accessed array (app-local id).
+    pub array: ArrayId,
+    /// Subscript function (arity must equal the array's rank).
+    pub map: AffineMap,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl AccessSpec {
+    /// A read access.
+    pub fn read(array: ArrayId, map: AffineMap) -> Self {
+        AccessSpec {
+            array,
+            map,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// A write access.
+    pub fn write(array: ArrayId, map: AffineMap) -> Self {
+        AccessSpec {
+            array,
+            map,
+            kind: AccessKind::Write,
+        }
+    }
+}
+
+/// One process: an iteration space plus the ordered list of array
+/// accesses performed in each iteration, plus a per-iteration
+/// computation cost.
+///
+/// This mirrors the paper's Figure 1 decomposition: `Task[i1]` of Prog1
+/// is the process with space `{[i2] : 0 <= i2 < 3000}` and accesses
+/// `A[1000*i1 + i2][5]` (read) and `B[i1]` (read+write).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessSpec {
+    /// Human-readable name, e.g. `"mxm.s1.3"`.
+    pub name: String,
+    /// The iteration space (must be bounded; box spaces are fastest).
+    pub space: IterSpace,
+    /// Accesses per iteration, in program order.
+    pub accesses: Vec<AccessSpec>,
+    /// ALU cycles per iteration (in addition to memory latency).
+    pub compute_cycles_per_iter: u64,
+}
+
+/// A whole application (a *task* in the paper's vocabulary): arrays,
+/// processes and intra-task dependences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Application name (Table 1 name for suite members).
+    pub name: String,
+    /// One-line description (Table 1's "Brief Description").
+    pub description: String,
+    /// The arrays the application owns.
+    pub arrays: ArrayTable,
+    /// The processes, in local index order.
+    pub processes: Vec<ProcessSpec>,
+    /// Intra-task dependences as local process index pairs
+    /// `(from, to)`: `to` may only start after `from` completes.
+    pub deps: Vec<(usize, usize)>,
+}
+
+impl AppSpec {
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Checks internal consistency: every access references a declared
+    /// array with matching rank, and dependence indices are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<()> {
+        if self.processes.is_empty() {
+            return Err(Error::NoProcesses(self.name.clone()));
+        }
+        for (pi, p) in self.processes.iter().enumerate() {
+            for a in &p.accesses {
+                let decl = self.arrays.get(a.array).ok_or(Error::UnknownArray {
+                    app: self.name.clone(),
+                    process: pi,
+                    array: a.array.index(),
+                })?;
+                if a.map.arity() != decl.extents().len() {
+                    return Err(Error::AccessArity {
+                        app: self.name.clone(),
+                        process: pi,
+                        got: a.map.arity(),
+                        expected: decl.extents().len(),
+                    });
+                }
+            }
+        }
+        for &(from, to) in &self.deps {
+            if from >= self.processes.len() || to >= self.processes.len() || from == to {
+                return Err(Error::BadDependence {
+                    app: self.name.clone(),
+                    edge: (from, to),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AppSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} processes, {} arrays, {} deps)",
+            self.name,
+            self.processes.len(),
+            self.arrays.len(),
+            self.deps.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lams_layout::ArrayDecl;
+    use lams_presburger::AffineExpr;
+
+    fn one_proc_app() -> AppSpec {
+        let mut arrays = ArrayTable::new();
+        let a = arrays.push(ArrayDecl::new("A", vec![16], 4));
+        AppSpec {
+            name: "t".into(),
+            description: "test".into(),
+            arrays,
+            processes: vec![ProcessSpec {
+                name: "p0".into(),
+                space: IterSpace::builder().dim_range("i", 0, 16).build().unwrap(),
+                accesses: vec![AccessSpec::read(
+                    a,
+                    AffineMap::new(vec![AffineExpr::var("i")]),
+                )],
+                compute_cycles_per_iter: 1,
+            }],
+            deps: vec![],
+        }
+    }
+
+    #[test]
+    fn valid_app_passes() {
+        one_proc_app().validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_array_rejected() {
+        let mut app = one_proc_app();
+        app.processes[0].accesses[0].array = ArrayId::new(5);
+        assert!(matches!(app.validate(), Err(Error::UnknownArray { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut app = one_proc_app();
+        app.processes[0].accesses[0].map =
+            AffineMap::new(vec![AffineExpr::var("i"), AffineExpr::constant(0)]);
+        assert!(matches!(app.validate(), Err(Error::AccessArity { .. })));
+    }
+
+    #[test]
+    fn bad_dep_rejected() {
+        let mut app = one_proc_app();
+        app.deps.push((0, 3));
+        assert!(matches!(app.validate(), Err(Error::BadDependence { .. })));
+        app.deps.clear();
+        app.deps.push((0, 0));
+        assert!(matches!(app.validate(), Err(Error::BadDependence { .. })));
+    }
+
+    #[test]
+    fn empty_app_rejected() {
+        let mut app = one_proc_app();
+        app.processes.clear();
+        assert!(matches!(app.validate(), Err(Error::NoProcesses(_))));
+    }
+}

@@ -1,0 +1,124 @@
+//! The Table 1 benchmark registry.
+//!
+//! ```
+//! use lams_workloads::{suite, Scale};
+//!
+//! let apps = suite::all(Scale::Tiny);
+//! assert_eq!(apps.len(), 6);
+//! assert_eq!(apps[0].name, "Med-Im04");
+//! assert!(suite::by_name("Track", Scale::Tiny).is_some());
+//! ```
+
+use crate::apps;
+use crate::{AppSpec, Scale};
+
+/// The Table 1 application names, in the paper's order.
+pub const NAMES: [&str; 6] = ["Med-Im04", "MxM", "Radar", "Shape", "Track", "Usonic"];
+
+/// Med-Im04 — medical image reconstruction (24 processes).
+pub fn med_im04(scale: Scale) -> AppSpec {
+    apps::med_im04::app(scale)
+}
+
+/// MxM — triple matrix multiplication (17 processes).
+pub fn mxm(scale: Scale) -> AppSpec {
+    apps::mxm::app(scale)
+}
+
+/// Radar — radar imaging (25 processes).
+pub fn radar(scale: Scale) -> AppSpec {
+    apps::radar::app(scale)
+}
+
+/// Shape — pattern recognition and shape analysis (9 processes).
+pub fn shape(scale: Scale) -> AppSpec {
+    apps::shape::app(scale)
+}
+
+/// Track — visual tracking control (12 processes).
+pub fn track(scale: Scale) -> AppSpec {
+    apps::track::app(scale)
+}
+
+/// Usonic — feature-based object recognition (37 processes).
+pub fn usonic(scale: Scale) -> AppSpec {
+    apps::usonic::app(scale)
+}
+
+/// All six applications in Table 1 order.
+pub fn all(scale: Scale) -> Vec<AppSpec> {
+    vec![
+        med_im04(scale),
+        mxm(scale),
+        radar(scale),
+        shape(scale),
+        track(scale),
+        usonic(scale),
+    ]
+}
+
+/// Looks an application up by its Table 1 name (case-insensitive).
+pub fn by_name(name: &str, scale: Scale) -> Option<AppSpec> {
+    match name.to_ascii_lowercase().as_str() {
+        "med-im04" | "med_im04" | "medim04" => Some(med_im04(scale)),
+        "mxm" => Some(mxm(scale)),
+        "radar" => Some(radar(scale)),
+        "shape" => Some(shape(scale)),
+        "track" => Some(track(scale)),
+        "usonic" => Some(usonic(scale)),
+        _ => None,
+    }
+}
+
+/// The cumulative workload mixes of Figure 7: `mix(t)` returns the first
+/// `t` applications (`|T| = t`), e.g. `mix(2) = [Med-Im04, MxM]`.
+///
+/// # Panics
+///
+/// Panics unless `1 <= t <= 6`.
+pub fn mix(t: usize, scale: Scale) -> Vec<AppSpec> {
+    assert!((1..=6).contains(&t), "|T| must be in 1..=6, got {t}");
+    all(scale).into_iter().take(t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        let apps = all(Scale::Tiny);
+        assert_eq!(apps.len(), 6);
+        for (app, name) in apps.iter().zip(NAMES) {
+            assert_eq!(app.name, name);
+            assert!(!app.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        for name in NAMES {
+            assert!(by_name(name, Scale::Tiny).is_some(), "{name}");
+        }
+        assert!(by_name("MED-IM04", Scale::Tiny).is_some());
+        assert!(by_name("nope", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn fig7_mixes_are_cumulative() {
+        let m1 = mix(1, Scale::Tiny);
+        assert_eq!(m1.len(), 1);
+        assert_eq!(m1[0].name, "Med-Im04");
+        let m3 = mix(3, Scale::Tiny);
+        assert_eq!(
+            m3.iter().map(|a| a.name.as_str()).collect::<Vec<_>>(),
+            vec!["Med-Im04", "MxM", "Radar"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "|T| must be in 1..=6")]
+    fn mix_rejects_zero() {
+        let _ = mix(0, Scale::Tiny);
+    }
+}

@@ -1,0 +1,218 @@
+//! Lazy memory-trace generation for a resolved process.
+
+use lams_layout::Layout;
+use lams_mpsoc::TraceOp;
+
+use crate::build::ResolvedProcess;
+
+/// Iterator yielding a process's trace operations in program order:
+/// for each iteration point (lexicographic), its array accesses followed
+/// by one `Compute` op.
+///
+/// Created by [`crate::Workload::trace`]. The trace is generated on the
+/// fly — nothing is materialized — so traces of millions of references
+/// cost no memory.
+#[derive(Debug, Clone)]
+pub struct Trace<'a> {
+    proc: &'a ResolvedProcess,
+    layout: &'a Layout,
+    /// Current iteration point; `None` after exhaustion.
+    point: Option<Vec<i64>>,
+    /// Next access index within the current iteration;
+    /// `== accesses.len()` means the Compute op is next.
+    cursor: usize,
+}
+
+impl<'a> Trace<'a> {
+    pub(crate) fn new(proc: &'a ResolvedProcess, layout: &'a Layout) -> Self {
+        let empty = proc.bbox.iter().any(|&(lo, hi)| hi < lo) || proc.dims.is_empty();
+        let mut point = if empty {
+            None
+        } else {
+            Some(proc.bbox.iter().map(|&(lo, _)| lo).collect::<Vec<i64>>())
+        };
+        // Non-box spaces: advance to the first member point.
+        if !proc.is_box {
+            if let Some(p) = &point {
+                if !Self::member(proc, p) {
+                    let mut p = p.clone();
+                    point = Self::advance_to_member(proc, &mut p).then_some(p);
+                }
+            }
+        }
+        Trace {
+            proc,
+            layout,
+            point,
+            cursor: 0,
+        }
+    }
+
+    fn member(proc: &ResolvedProcess, p: &[i64]) -> bool {
+        proc.space
+            .system()
+            .holds_point(&proc.dims, p)
+            .unwrap_or(false)
+    }
+
+    /// Odometer step to the next bbox point; returns `false` on wrap-out.
+    fn advance_raw(proc: &ResolvedProcess, p: &mut [i64]) -> bool {
+        let mut k = p.len();
+        while k > 0 {
+            k -= 1;
+            if p[k] < proc.bbox[k].1 {
+                p[k] += 1;
+                for (x, b) in p.iter_mut().zip(&proc.bbox).skip(k + 1) {
+                    *x = b.0;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advances to the next member point (for non-box spaces).
+    fn advance_to_member(proc: &ResolvedProcess, p: &mut [i64]) -> bool {
+        while Self::advance_raw(proc, p) {
+            if Self::member(proc, p) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Steps the iteration point after the Compute op.
+    fn step_point(&mut self) {
+        let Some(p) = &mut self.point else { return };
+        let alive = if self.proc.is_box {
+            Self::advance_raw(self.proc, p)
+        } else {
+            Self::advance_to_member(self.proc, p)
+        };
+        if !alive {
+            self.point = None;
+        }
+        self.cursor = 0;
+    }
+}
+
+impl Iterator for Trace<'_> {
+    type Item = TraceOp;
+
+    #[inline]
+    fn next(&mut self) -> Option<TraceOp> {
+        let point = self.point.as_ref()?;
+        if self.cursor < self.proc.accesses.len() {
+            let a = &self.proc.accesses[self.cursor];
+            self.cursor += 1;
+            let mut lin = a.constant;
+            for (c, x) in a.coeffs.iter().zip(point) {
+                lin += c * x;
+            }
+            let addr = self.layout.addr(a.array, lin);
+            Some(TraceOp::Access {
+                addr,
+                write: a.write,
+            })
+        } else {
+            let op = TraceOp::Compute(self.proc.compute);
+            self.step_point();
+            Some(op)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.point {
+            None => (0, Some(0)),
+            // Lower bound: the remainder of the current iteration.
+            Some(_) => {
+                let per_iter = self.proc.accesses.len() + 1;
+                let remaining_this_iter = per_iter - self.cursor;
+                (remaining_this_iter, Some(self.proc.num_iters as usize * per_iter))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AccessSpec, AppSpec, ProcessSpec, Workload};
+    use lams_layout::{ArrayDecl, ArrayTable, Layout};
+    use lams_mpsoc::TraceOp;
+    use lams_presburger::{AffineExpr, AffineMap, Constraint, IterSpace};
+    use lams_procgraph::ProcessId;
+
+    fn app_with_space(space: IterSpace) -> AppSpec {
+        let mut arrays = ArrayTable::new();
+        let a = arrays.push(ArrayDecl::new("A", vec![64, 64], 4));
+        AppSpec {
+            name: "t".into(),
+            description: "trace test".into(),
+            arrays,
+            processes: vec![ProcessSpec {
+                name: "p".into(),
+                space,
+                accesses: vec![AccessSpec::read(
+                    a,
+                    AffineMap::identity(["i", "j"]),
+                )],
+                compute_cycles_per_iter: 3,
+            }],
+            deps: vec![],
+        }
+    }
+
+    #[test]
+    fn box_trace_order_and_length() {
+        let space = IterSpace::builder()
+            .dim_range("i", 0, 2)
+            .dim_range("j", 0, 3)
+            .build()
+            .unwrap();
+        let w = Workload::single(app_with_space(space)).unwrap();
+        let layout = Layout::linear(w.arrays());
+        let ops: Vec<_> = w.trace(ProcessId::new(0), &layout).collect();
+        assert_eq!(ops.len(), 6 * 2);
+        // Row-major: A[0][0], A[0][1], A[0][2], A[1][0]...
+        let base = match ops[0] {
+            TraceOp::Access { addr, .. } => addr,
+            _ => unreachable!(),
+        };
+        let expect = |i: i64, j: i64| base + ((i * 64 + j) as u64) * 4;
+        assert_eq!(ops[2], TraceOp::read(expect(0, 1)));
+        assert_eq!(ops[6], TraceOp::read(expect(1, 0)));
+        assert_eq!(ops[1], TraceOp::compute(3));
+    }
+
+    #[test]
+    fn non_box_trace_filters_points() {
+        // Triangular: j <= i over 4x4 -> 10 points.
+        let space = IterSpace::builder()
+            .dim_range("i", 0, 4)
+            .dim_range("j", 0, 4)
+            .constraint(Constraint::le(AffineExpr::var("j"), AffineExpr::var("i")))
+            .build()
+            .unwrap();
+        let w = Workload::single(app_with_space(space)).unwrap();
+        let layout = Layout::linear(w.arrays());
+        let ops: Vec<_> = w.trace(ProcessId::new(0), &layout).collect();
+        assert_eq!(ops.len(), 10 * 2);
+    }
+
+    #[test]
+    fn trace_is_restartable() {
+        let space = IterSpace::builder().dim_range("i", 0, 4).build().unwrap();
+        let mut app = app_with_space(space);
+        // 1-D access map for the 2-D array: fix the column.
+        app.processes[0].accesses[0].map = AffineMap::new(vec![
+            AffineExpr::var("i"),
+            AffineExpr::constant(5),
+        ]);
+        let w = Workload::single(app).unwrap();
+        let layout = Layout::linear(w.arrays());
+        let t1: Vec<_> = w.trace(ProcessId::new(0), &layout).collect();
+        let t2: Vec<_> = w.trace(ProcessId::new(0), &layout).collect();
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 8);
+    }
+}

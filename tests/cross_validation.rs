@@ -1,0 +1,112 @@
+//! Cross-validation between the symbolic layer and the execution layer:
+//! the Presburger-computed data sets must match exactly what the traces
+//! actually touch, for every process of every suite application, under
+//! both the linear and a remapped layout.
+
+use std::collections::BTreeSet;
+
+use lams::layout::{HalfPage, Layout, RemapAssignment};
+use lams::mpsoc::{CacheConfig, TraceOp};
+use lams::workloads::{suite, Scale, Workload};
+
+/// Replays a process trace and collects the first byte address of each
+/// access; compares with the footprint predicted by the data set mapped
+/// through the same layout.
+fn check_workload(w: &Workload, layout: &Layout) {
+    for p in w.process_ids() {
+        let mut traced = BTreeSet::new();
+        for op in w.trace(p, layout) {
+            if let TraceOp::Access { addr, .. } = op {
+                traced.insert(addr as i64);
+            }
+        }
+        let mut predicted = BTreeSet::new();
+        for (&array, elems) in w.data_set(p).iter() {
+            for e in elems.iter() {
+                predicted.insert(layout.addr(array, e) as i64);
+            }
+        }
+        assert_eq!(
+            traced,
+            predicted,
+            "footprint mismatch for {} ({})",
+            w.process(p).name,
+            p
+        );
+    }
+}
+
+#[test]
+fn traces_match_presburger_footprints_linear() {
+    for app in suite::all(Scale::Tiny) {
+        let w = Workload::single(app).unwrap();
+        let layout = Layout::linear(w.arrays());
+        check_workload(&w, &layout);
+    }
+}
+
+#[test]
+fn traces_match_presburger_footprints_remapped() {
+    for app in suite::all(Scale::Tiny) {
+        let w = Workload::single(app).unwrap();
+        // Remap every other array; footprints must still agree.
+        let mut asg = RemapAssignment::new();
+        for (id, _) in w.arrays().iter() {
+            if id.index() % 2 == 0 {
+                asg.assign(
+                    id,
+                    if id.index() % 4 == 0 {
+                        HalfPage::Lower
+                    } else {
+                        HalfPage::Upper
+                    },
+                );
+            }
+        }
+        let layout = Layout::remapped(w.arrays(), &CacheConfig::paper_default(), &asg);
+        check_workload(&w, &layout);
+    }
+}
+
+#[test]
+fn trace_lengths_match_declared() {
+    for app in suite::all(Scale::Tiny) {
+        let w = Workload::single(app).unwrap();
+        let layout = Layout::linear(w.arrays());
+        for p in w.process_ids() {
+            let n = w.trace(p, &layout).count() as u64;
+            assert_eq!(n, w.trace_len(p), "{}", w.process(p).name);
+        }
+    }
+}
+
+#[test]
+fn sharing_matrix_matches_trace_overlap() {
+    // The sharing matrix (symbolic) must equal the overlap of traced
+    // element addresses (operational) for a representative app.
+    let w = Workload::single(suite::shape(Scale::Tiny)).unwrap();
+    let layout = Layout::linear(w.arrays());
+    let m = lams::core::SharingMatrix::from_workload(&w);
+    let footprints: Vec<BTreeSet<u64>> = w
+        .process_ids()
+        .map(|p| {
+            w.trace(p, &layout)
+                .filter_map(|op| op.addr())
+                .collect::<BTreeSet<u64>>()
+        })
+        .collect();
+    for (i, p) in w.process_ids().enumerate() {
+        for (j, q) in w.process_ids().enumerate() {
+            if i < j {
+                let overlap = footprints[i].intersection(&footprints[j]).count() as u64;
+                assert_eq!(
+                    m.get(p, q),
+                    overlap,
+                    "sharing mismatch between {} and {}",
+                    w.process(p).name,
+                    w.process(q).name
+                );
+            }
+        }
+    }
+}

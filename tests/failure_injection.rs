@@ -1,0 +1,141 @@
+//! Edge cases and failure injection: degenerate workloads, misbehaving
+//! policies, bus contention, and configuration errors must all fail (or
+//! succeed) loudly and predictably.
+
+use lams::core::{
+    execute, EngineConfig, Error, Policy, RandomPolicy, SharingMatrix,
+};
+use lams::layout::Layout;
+use lams::mpsoc::{BusConfig, Machine, MachineConfig};
+use lams::presburger::{AffineExpr, AffineMap, IterSpace};
+use lams::procgraph::ProcessId;
+use lams::workloads::{AccessSpec, AppSpec, ProcessSpec, Workload};
+use lams::layout::{ArrayDecl, ArrayTable};
+use lams::mpsoc::CoreId;
+
+/// A policy that never dispatches anything — contract violation.
+#[derive(Debug)]
+struct Refusenik;
+
+impl Policy for Refusenik {
+    fn name(&self) -> &str {
+        "refusenik"
+    }
+    fn on_ready(&mut self, _p: ProcessId, _now: u64) {}
+    fn select(
+        &mut self,
+        _core: CoreId,
+        _last: Option<ProcessId>,
+        _ready: &[ProcessId],
+    ) -> Option<ProcessId> {
+        None
+    }
+}
+
+fn one_proc_app() -> AppSpec {
+    let mut arrays = ArrayTable::new();
+    let a = arrays.push(ArrayDecl::new("A", vec![64], 4));
+    AppSpec {
+        name: "solo".into(),
+        description: "single process".into(),
+        arrays,
+        processes: vec![ProcessSpec {
+            name: "p0".into(),
+            space: IterSpace::builder().dim_range("i", 0, 64).build().unwrap(),
+            accesses: vec![AccessSpec::read(
+                a,
+                AffineMap::new(vec![AffineExpr::var("i")]),
+            )],
+            compute_cycles_per_iter: 1,
+        }],
+        deps: vec![],
+    }
+}
+
+#[test]
+fn refusing_policy_stalls_the_engine() {
+    let w = Workload::single(one_proc_app()).unwrap();
+    let layout = Layout::linear(w.arrays());
+    let mut p = Refusenik;
+    let err = execute(&w, &layout, &mut p, EngineConfig::paper_default()).unwrap_err();
+    assert!(matches!(err, Error::EngineStalled { ready: 1 }));
+}
+
+#[test]
+fn single_process_single_core_works() {
+    let w = Workload::single(one_proc_app()).unwrap();
+    let layout = Layout::linear(w.arrays());
+    let mut p = RandomPolicy::new(0);
+    let cfg = EngineConfig::from(MachineConfig::paper_default().with_cores(1));
+    let r = execute(&w, &layout, &mut p, cfg).unwrap();
+    assert_eq!(r.processes.len(), 1);
+    // 64 elements on 32-byte lines: 8 cold misses, 56 hits, 64 compute.
+    assert_eq!(r.machine.cache.misses, 8);
+    assert_eq!(r.machine.cache.hits, 56);
+    assert_eq!(r.makespan_cycles, 8 * 77 + 56 * 2 + 64);
+}
+
+#[test]
+fn zero_compute_processes_are_fine() {
+    let mut app = one_proc_app();
+    app.processes[0].compute_cycles_per_iter = 0;
+    let w = Workload::single(app).unwrap();
+    let layout = Layout::linear(w.arrays());
+    let mut p = RandomPolicy::new(0);
+    let r = execute(&w, &layout, &mut p, EngineConfig::paper_default()).unwrap();
+    assert_eq!(r.makespan_cycles, 8 * 77 + 56 * 2);
+}
+
+#[test]
+fn invalid_machine_configs_are_rejected() {
+    let mut bad = MachineConfig::paper_default();
+    bad.num_cores = 0;
+    assert!(Machine::try_new(bad).is_err());
+    let mut bad = MachineConfig::paper_default();
+    bad.cache.associativity = 3;
+    assert!(Machine::try_new(bad).is_err());
+    let mut bad = MachineConfig::paper_default();
+    bad.miss_latency = 1; // below hit latency
+    assert!(Machine::try_new(bad).is_err());
+}
+
+#[test]
+fn bus_contention_slows_concurrent_misses() {
+    let app = lams::workloads::suite::shape(lams::workloads::Scale::Tiny);
+    let w = Workload::single(app).unwrap();
+    let layout = Layout::linear(w.arrays());
+    let sharing = SharingMatrix::from_workload(&w);
+    let base = MachineConfig::paper_default();
+    let contended = base.with_bus(BusConfig {
+        occupancy_cycles: 20,
+    });
+    let run = |machine: MachineConfig| {
+        let mut p = lams::core::LocalityPolicy::new(sharing.clone(), machine.num_cores);
+        execute(&w, &layout, &mut p, EngineConfig::from(machine)).unwrap()
+    };
+    let fast = run(base);
+    let slow = run(contended);
+    assert!(
+        slow.makespan_cycles > fast.makespan_cycles,
+        "bus contention must cost time: {} vs {}",
+        slow.makespan_cycles,
+        fast.makespan_cycles
+    );
+    // Same work either way.
+    assert_eq!(slow.machine.cache.accesses(), fast.machine.cache.accesses());
+}
+
+#[test]
+fn quantum_override_is_honoured() {
+    let w = Workload::single(one_proc_app()).unwrap();
+    let layout = Layout::linear(w.arrays());
+    let mut p = RandomPolicy::new(0); // run-to-completion by itself
+    let cfg = EngineConfig {
+        machine: MachineConfig::paper_default(),
+        quantum_override: Some(100),
+    };
+    let r = execute(&w, &layout, &mut p, cfg).unwrap();
+    // The single process takes ~900 cycles of work, so an enforced
+    // 100-cycle quantum preempts it repeatedly.
+    assert!(r.processes[&ProcessId::new(0)].dispatches > 1);
+}

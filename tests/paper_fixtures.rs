@@ -1,0 +1,113 @@
+//! Exact fixtures from the paper: Figure 2(a), Table 1's process-count
+//! range, Table 2's parameters, and the Figure 4 formula.
+
+use lams::core::SharingMatrix;
+use lams::layout::{ArrayDecl, ArrayTable, HalfPage, Layout, RemapAssignment};
+use lams::mpsoc::{CacheConfig, MachineConfig};
+use lams::procgraph::ProcessId;
+use lams::workloads::{prog1, prog2, suite, Scale, Workload};
+
+#[test]
+fn figure_2a_sharing_matrix_is_exact() {
+    let w = Workload::single(prog1()).unwrap();
+    let m = SharingMatrix::from_workload(&w);
+    // The published matrix: adjacent = 2000, two apart = 1000, else 0.
+    for p in 0..8i64 {
+        for q in 0..8i64 {
+            if p == q {
+                continue;
+            }
+            let expect = match (p - q).abs() {
+                1 => 2000,
+                2 => 1000,
+                _ => 0,
+            };
+            assert_eq!(
+                m.get(ProcessId::new(p as u32), ProcessId::new(q as u32)),
+                expect,
+                "M[{p}][{q}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn prog1_and_prog2_share_no_data() {
+    let w = Workload::concurrent(vec![prog1(), prog2()]).unwrap();
+    for p in 0..8u32 {
+        for q in 8..16u32 {
+            assert_eq!(
+                w.data_set(ProcessId::new(p))
+                    .shared_len(w.data_set(ProcessId::new(q))),
+                0
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_process_counts() {
+    // "The numbers of processes of these benchmarks (tasks) vary between
+    // 9 and 37."
+    let counts: Vec<usize> = suite::all(Scale::Small)
+        .iter()
+        .map(|a| a.num_processes())
+        .collect();
+    assert_eq!(counts.iter().min(), Some(&9));
+    assert_eq!(counts.iter().max(), Some(&37));
+    assert!(counts.iter().all(|c| (9..=37).contains(c)));
+    // Six applications, in the paper's order.
+    let names: Vec<String> = suite::all(Scale::Small)
+        .into_iter()
+        .map(|a| a.name)
+        .collect();
+    assert_eq!(
+        names,
+        vec!["Med-Im04", "MxM", "Radar", "Shape", "Track", "Usonic"]
+    );
+}
+
+#[test]
+fn table2_simulation_parameters() {
+    let m = MachineConfig::paper_default();
+    assert_eq!(m.num_cores, 8);
+    assert_eq!(m.cache.size_bytes, 8 * 1024);
+    assert_eq!(m.cache.associativity, 2);
+    assert_eq!(m.hit_latency, 2);
+    assert_eq!(m.miss_latency, 75);
+    assert_eq!(m.clock_hz, 200_000_000);
+    // Footnote 1: cache page = size / associativity.
+    assert_eq!(m.cache.page_bytes(), 4096);
+}
+
+#[test]
+fn figure_4_formula_and_guarantee() {
+    // addr'(e) = 2·addr(e) − addr(e) mod (C/2) + b.
+    let cache = CacheConfig::paper_default();
+    let half = cache.page_bytes() / 2;
+    let mut table = ArrayTable::new();
+    let k1 = table.push(ArrayDecl::new("K1", vec![2048], 4));
+    let k2 = table.push(ArrayDecl::new("K2", vec![2048], 4));
+    let mut asg = RemapAssignment::new();
+    asg.assign(k1, HalfPage::Lower);
+    asg.assign(k2, HalfPage::Upper);
+    let layout = Layout::remapped(&table, &cache, &asg);
+
+    // The formula, relative to the page-aligned region base.
+    let base = layout.addr(k1, 0);
+    assert_eq!(base % cache.page_bytes(), 0);
+    for idx in [0i64, 100, 511, 512, 1000, 2047] {
+        let a = (idx as u64) * 4;
+        assert_eq!(layout.addr(k1, idx), base + 2 * a - a % half);
+    }
+    // The guarantee: K1 and K2 never share a cache set.
+    for i in (0..2048).step_by(8) {
+        for j in (0..2048).step_by(8) {
+            assert_ne!(
+                cache.set_of(layout.addr(k1, i)),
+                cache.set_of(layout.addr(k2, j)),
+                "elements {i}/{j} collided"
+            );
+        }
+    }
+}
