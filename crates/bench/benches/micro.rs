@@ -10,8 +10,8 @@ use std::hint::black_box;
 use lams_core::{execute, LocalityPolicy, SharingMatrix};
 use lams_layout::{relayout_pass, AdjacentArrays, ConflictMatrix, Layout};
 use lams_mpsoc::{Cache, CacheConfig, MachineConfig};
-use lams_workloads::{suite, Scale, Workload};
 use lams_procgraph::ProcessId;
+use lams_workloads::{suite, Scale, Workload};
 
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache");
@@ -61,7 +61,11 @@ fn bench_trace(c: &mut Criterion) {
     let p = ProcessId::new(0);
     group.throughput(Throughput::Elements(w.trace_len(p)));
     group.bench_function("generate_mxm_s1", |b| {
-        b.iter(|| w.trace(p, &layout).map(|op| op.addr().unwrap_or(0)).sum::<u64>())
+        b.iter(|| {
+            w.trace(p, &layout)
+                .map(|op| op.addr().unwrap_or(0))
+                .sum::<u64>()
+        })
     });
     group.finish();
 }
@@ -76,7 +80,11 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("ls_shape_small", |b| {
         b.iter(|| {
             let mut p = LocalityPolicy::new(sharing.clone(), machine.num_cores);
-            black_box(execute(&w, &layout, &mut p, machine).expect("runs").makespan_cycles)
+            black_box(
+                execute(&w, &layout, &mut p, machine)
+                    .expect("runs")
+                    .makespan_cycles,
+            )
         })
     });
     group.finish();

@@ -5,7 +5,10 @@ use lams_workloads::Scale;
 
 /// Extracts `--scale tiny|small|paper` from raw args (default `small`).
 pub fn parse_scale(args: &[String]) -> Scale {
-    match flag_value(args, "--scale").map(str::to_ascii_lowercase).as_deref() {
+    match flag_value(args, "--scale")
+        .map(str::to_ascii_lowercase)
+        .as_deref()
+    {
         Some("tiny") => Scale::Tiny,
         Some("paper") => Scale::Paper,
         _ => Scale::Small,
@@ -46,9 +49,6 @@ mod tests {
     fn usize_flag() {
         assert_eq!(parse_usize_flag(&argv(&["--cores", "4"]), "--cores", 8), 4);
         assert_eq!(parse_usize_flag(&argv(&[]), "--cores", 8), 8);
-        assert_eq!(
-            parse_usize_flag(&argv(&["--cores", "x"]), "--cores", 8),
-            8
-        );
+        assert_eq!(parse_usize_flag(&argv(&["--cores", "x"]), "--cores", 8), 8);
     }
 }

@@ -43,7 +43,10 @@ fn main() {
 
     // A1b: sharing granularity (elements vs 32-byte cache lines).
     let line_sharing = SharingMatrix::from_workload_lines(&workload, &layout, 32);
-    for (label, m) in [("ls_element_sharing", &sharing), ("ls_line_sharing", &line_sharing)] {
+    for (label, m) in [
+        ("ls_element_sharing", &sharing),
+        ("ls_line_sharing", &line_sharing),
+    ] {
         let mut p = LocalityPolicy::new(m.clone(), machine.num_cores);
         let r = execute(&workload, &layout, &mut p, machine).expect("runs");
         rows.push(format!(
@@ -76,10 +79,7 @@ fn main() {
         let r = exp.run(kind).expect("runs");
         rows.push(format!(
             "baseline_{},{},{},{}",
-            kind,
-            r.makespan_cycles,
-            r.machine.cache.misses,
-            r.machine.cache.conflict_misses
+            kind, r.makespan_cycles, r.machine.cache.misses, r.machine.cache.conflict_misses
         ));
     }
 

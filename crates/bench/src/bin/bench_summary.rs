@@ -1,0 +1,168 @@
+//! Headless perf tracker: runs the cache and engine micro-benches plus a
+//! fixed-seed fig6-style golden sweep and writes `BENCH_hotpath.json` at
+//! the workspace root, so the perf trajectory is machine-readable from
+//! PR 1 onward.
+//!
+//! Usage: `cargo run --release -p lams-bench --bin bench_summary [out.json]`
+//!
+//! The makespan checksum must stay constant across perf PRs (bit-identical
+//! simulation results); the throughput numbers are expected to move.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use lams_core::{execute, Experiment, LocalityPolicy, PolicyKind, SharingMatrix};
+use lams_layout::Layout;
+use lams_mpsoc::{Cache, CacheConfig, MachineConfig};
+use lams_workloads::{suite, Scale, Workload};
+
+/// Median ns/iter of `f` over `samples` timed samples of `iters` calls.
+fn time_ns<F: FnMut()>(mut f: F, iters: u64, samples: usize) -> f64 {
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    per_iter[per_iter.len() / 2]
+}
+
+fn cache_melems_per_s(classify: bool) -> f64 {
+    const N: u64 = 10_000;
+    let addrs: Vec<u64> = (0..N).map(|i| (i * 52) % 32768).collect();
+    let ns = time_ns(
+        || {
+            let mut cache = Cache::new(CacheConfig::paper_default(), classify);
+            for &a in &addrs {
+                black_box(cache.access(a));
+            }
+            black_box(cache.stats().misses);
+        },
+        8,
+        9,
+    );
+    N as f64 / ns * 1e3
+}
+
+struct EngineBench {
+    wall_ms: f64,
+    makespan: u64,
+    sim_mops_per_s: f64,
+}
+
+fn engine_bench() -> EngineBench {
+    let w = Workload::single(suite::shape(Scale::Small)).expect("valid app");
+    let layout = Layout::linear(w.arrays());
+    let sharing = SharingMatrix::from_workload(&w);
+    let machine = MachineConfig::paper_default();
+    let total_ops: u64 = w.process_ids().map(|p| w.trace_len(p)).sum();
+    let mut makespan = 0;
+    let ns = time_ns(
+        || {
+            let mut p = LocalityPolicy::new(sharing.clone(), machine.num_cores);
+            makespan = execute(&w, &layout, &mut p, machine)
+                .expect("engine runs")
+                .makespan_cycles;
+        },
+        3,
+        9,
+    );
+    EngineBench {
+        wall_ms: ns / 1e6,
+        makespan,
+        sim_mops_per_s: total_ops as f64 / ns * 1e3,
+    }
+}
+
+/// Fixed-seed fig6-style golden sweep: every suite app at Tiny scale
+/// under RS/RRS/LS on the Table 2 machine. Returns `(name, policy,
+/// makespan)` triples.
+fn golden_sweep() -> Vec<(String, &'static str, u64)> {
+    let kinds = [
+        (PolicyKind::Random, "RS"),
+        (PolicyKind::RoundRobin, "RRS"),
+        (PolicyKind::Locality, "LS"),
+    ];
+    let mut rows = Vec::new();
+    for app in suite::all(Scale::Tiny) {
+        let exp = Experiment::isolated(&app, MachineConfig::paper_default()).with_seed(12345);
+        for (kind, label) in kinds {
+            let r = exp.run(kind).expect("policy runs");
+            rows.push((app.name.clone(), label, r.makespan_cycles));
+        }
+    }
+    rows
+}
+
+/// FNV-1a over the makespan stream — one number to eyeball across PRs.
+fn checksum(rows: &[(String, &'static str, u64)]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for (_, _, m) in rows {
+        for b in m.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    eprintln!("bench_summary: cache micro-benches...");
+    let plain = cache_melems_per_s(false);
+    let classified = cache_melems_per_s(true);
+    eprintln!("  access_plain      {plain:.2} Melem/s");
+    eprintln!("  access_classified {classified:.2} Melem/s");
+
+    eprintln!("bench_summary: engine micro-bench (LS, Shape, Small)...");
+    let eng = engine_bench();
+    eprintln!(
+        "  ls_shape_small    {:.3} ms  ({:.2} sim Mops/s, makespan {})",
+        eng.wall_ms, eng.sim_mops_per_s, eng.makespan
+    );
+
+    eprintln!("bench_summary: fig6-style golden sweep (Tiny)...");
+    let rows = golden_sweep();
+    let sum = checksum(&rows);
+    eprintln!("  {} runs, makespan checksum 0x{sum:016x}", rows.len());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 1,\n");
+    json.push_str("  \"cache\": {\n");
+    json.push_str(&format!("    \"access_plain_melems_per_s\": {plain:.3},\n"));
+    json.push_str(&format!(
+        "    \"access_classified_melems_per_s\": {classified:.3}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"engine\": {\n");
+    json.push_str(&format!("    \"ls_shape_small_ms\": {:.4},\n", eng.wall_ms));
+    json.push_str(&format!(
+        "    \"sim_mops_per_s\": {:.3},\n",
+        eng.sim_mops_per_s
+    ));
+    json.push_str(&format!("    \"makespan_cycles\": {}\n", eng.makespan));
+    json.push_str("  },\n");
+    json.push_str("  \"golden\": {\n");
+    json.push_str(&format!("    \"makespan_checksum\": \"0x{sum:016x}\",\n"));
+    json.push_str("    \"runs\": [\n");
+    for (i, (name, policy, makespan)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "      {{\"app\": \"{name}\", \"policy\": \"{policy}\", \"makespan_cycles\": {makespan}}}{comma}\n"
+        ));
+    }
+    json.push_str("    ]\n");
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out, json).expect("write bench summary");
+    eprintln!("bench_summary: wrote {out}");
+}

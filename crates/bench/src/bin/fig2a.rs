@@ -69,7 +69,11 @@ fn main() {
         vec![pid(4), pid(5)],
         vec![pid(6), pid(7)],
     ];
-    print_mapping("Paper-style good mapping (adjacent pairs):", &paper_good, &m);
+    print_mapping(
+        "Paper-style good mapping (adjacent pairs):",
+        &paper_good,
+        &m,
+    );
 
     // Figure 2(c): a poor mapping — distant processes share nothing.
     let poor = vec![

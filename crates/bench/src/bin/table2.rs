@@ -26,14 +26,13 @@ fn main() {
         "{:<38} {} cycles",
         "Off-chip memory access latency", m.miss_latency
     );
-    println!(
-        "{:<38} {} MHz",
-        "Processor speed",
-        m.clock_hz / 1_000_000
-    );
+    println!("{:<38} {} MHz", "Processor speed", m.clock_hz / 1_000_000);
     println!();
     println!("Derived / reproduction-specific:");
-    println!("{:<38} {} B (not stated in the paper)", "Cache line size", m.cache.line_bytes);
+    println!(
+        "{:<38} {} B (not stated in the paper)",
+        "Cache line size", m.cache.line_bytes
+    );
     println!("{:<38} {}", "Cache sets", m.cache.num_sets());
     println!(
         "{:<38} {} B (= size / associativity; footnote 1)",
@@ -47,6 +46,8 @@ fn main() {
     println!(
         "{:<38} {} cycles (50 us; not stated in the paper)",
         "RRS preemption quantum",
-        lams_core::RoundRobinPolicy::default().quantum().unwrap_or(0)
+        lams_core::RoundRobinPolicy::default()
+            .quantum()
+            .unwrap_or(0)
     );
 }

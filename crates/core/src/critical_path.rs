@@ -64,14 +64,11 @@ impl Policy for CriticalPathPolicy {
         _last: Option<ProcessId>,
         ready: &[ProcessId],
     ) -> Option<ProcessId> {
-        ready
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                self.priority(a)
-                    .cmp(&self.priority(b))
-                    .then_with(|| b.cmp(&a)) // smaller id on ties
-            })
+        ready.iter().copied().max_by(|&a, &b| {
+            self.priority(a)
+                .cmp(&self.priority(b))
+                .then_with(|| b.cmp(&a)) // smaller id on ties
+        })
     }
 }
 

@@ -1,7 +1,48 @@
 //! The event-driven scheduling engine: dispatches processes onto the
 //! MPSoC in global time order, honouring dependences and preemption.
+//!
+//! # Hot-path design
+//!
+//! The engine advances the busy core with the smallest local clock. The
+//! seed implementation re-collected the ready set, rescanned every core
+//! for the minimum busy clock and re-entered the dispatch loop after
+//! *every trace op* — O(cores + ready) of allocation and scanning per
+//! simulated memory reference. This implementation batches instead:
+//!
+//! * busy cores live in a small min-heap holding exactly one entry per
+//!   busy core (popped on selection, re-pushed after the batch while
+//!   the core stays busy);
+//! * the selected core runs its trace in a tight inner loop
+//!   ([`Machine::exec_until`]) until the next *event horizon* — its own
+//!   quantum end or the next gated-dispatch opportunity. Cores without
+//!   either run arbitrarily far ahead of their siblings, because
+//!   private caches make their op streams independent;
+//! * the events a batch ends with (completion, preemption) are not
+//!   processed at discovery: they are re-queued into the heap at the
+//!   exact `(clock, core)` scheduling position at which the seed's
+//!   one-op-at-a-time loop would have discovered them, and fire when
+//!   they reach the heap minimum (see [`RunState`]) — so events,
+//!   dispatches and policy callbacks happen in precisely the seed
+//!   engine's order;
+//! * only when a shared bus is configured is the batch additionally
+//!   capped at the second-smallest busy clock, because then the global
+//!   *op* interleaving (bus arbitration) is observable, not just the
+//!   event order;
+//! * the ready/idle scratch vectors are reused across iterations.
+//!
+//! Batching is exact, not approximate: makespans, dispatch sequences
+//! and cache statistics are bit-identical to the seed engine
+//! (differentially tested against a one-op-at-a-time reference in
+//! `crates/core/tests/prop.rs` and golden-checked in
+//! `tests/cross_validation.rs`). The one behavioural refinement is for
+//! policies whose `select` *refuses* to dispatch while ready work and
+//! an eligible idle core exist: they are re-asked at the next
+//! scheduling event rather than after every op, which is what the
+//! [`Policy`](crate::Policy) contract documents. None of the shipped
+//! policies refuse.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 use lams_layout::Layout;
@@ -84,10 +125,7 @@ impl RunResult {
             .iter()
             .map(|seq| {
                 let mut seen = std::collections::BTreeSet::new();
-                seq.iter()
-                    .copied()
-                    .filter(|p| seen.insert(*p))
-                    .collect()
+                seq.iter().copied().filter(|p| seen.insert(*p)).collect()
             })
             .collect()
     }
@@ -106,10 +144,28 @@ impl fmt::Display for RunResult {
     }
 }
 
+/// What a busy core's heap entry represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    /// The core has trace ops left to execute.
+    Executing,
+    /// The trace is exhausted; the completion event fires when the
+    /// core's `(finish_clock, core)` entry becomes the heap minimum —
+    /// exactly when the seed engine's next selection of this core would
+    /// have discovered the empty trace.
+    FinishPending,
+    /// The quantum was crossed; the preemption event fires when the
+    /// crossing op's `(pre_op_clock, core)` entry becomes the heap
+    /// minimum — the op's scheduling position in the seed engine, which
+    /// fired the preemption immediately after executing it.
+    PreemptPending,
+}
+
 struct Running<'a> {
     pid: ProcessId,
     trace: Trace<'a>,
     quantum_end: Option<u64>,
+    state: RunState,
 }
 
 /// Executes `workload` on the configured machine under `policy`, with
@@ -144,6 +200,17 @@ pub fn execute(
     let mut execs: BTreeMap<ProcessId, ProcessExec> = BTreeMap::new();
     let quantum = |p: &dyn Policy| config.quantum_override.or(p.quantum());
 
+    // Scratch buffers reused across iterations, and the busy-core
+    // min-heap: exactly one entry per busy core (popped on selection,
+    // re-pushed after each batch while the core stays busy). An entry's
+    // key is the core's clock while executing, or the deferred event's
+    // scheduling position after its batch ended in one — either way
+    // `peek` is the next scheduling position, which for dispatch gating
+    // coincides with the seed engine's minimum busy clock.
+    let mut ready_vec: Vec<ProcessId> = Vec::new();
+    let mut idle: Vec<(CoreId, Option<ProcessId>, u64)> = Vec::new();
+    let mut busy: BinaryHeap<Reverse<(u64, CoreId)>> = BinaryHeap::with_capacity(cores);
+
     // Roots are ready at time zero.
     for p in tracker.ready().collect::<Vec<_>>() {
         ready_at.insert(p, 0);
@@ -163,40 +230,35 @@ pub fn execute(
         // advanced first; dispatching resumes once every busy clock is
         // strictly ahead of the candidate start time.
         loop {
-            let ready_vec: Vec<ProcessId> = tracker.ready().collect();
+            ready_vec.clear();
+            ready_vec.extend(tracker.ready());
             if ready_vec.is_empty() {
                 break;
             }
-            let min_busy_clock = (0..cores)
-                .filter(|&c| running[c].is_some())
-                .map(|c| machine.core_clock(c).expect("core in range"))
-                .min();
+            let min_busy_clock = busy.peek().map(|&Reverse((t, _))| t);
             let min_ready_at = ready_vec
                 .iter()
                 .map(|p| ready_at.get(p).copied().unwrap_or(0))
                 .min()
                 .unwrap_or(0);
-            let idle: Vec<(CoreId, Option<ProcessId>, u64)> = (0..cores)
-                .filter(|&c| running[c].is_none())
-                .filter(|&c| {
+            idle.clear();
+            for c in 0..cores {
+                if running[c].is_none() {
                     let clock = machine.core_clock(c).expect("core in range");
                     let earliest_start = clock.max(min_ready_at);
-                    min_busy_clock.is_none_or(|mb| earliest_start < mb)
-                })
-                .map(|c| {
-                    (
-                        c,
-                        last_on_core[c],
-                        machine.core_clock(c).expect("core in range"),
-                    )
-                })
-                .collect();
+                    if min_busy_clock.is_none_or(|mb| earliest_start < mb) {
+                        idle.push((c, last_on_core[c], clock));
+                    }
+                }
+            }
             if idle.is_empty() {
                 break;
             }
             let order = policy.rank_idle(&idle, &ready_vec);
             debug_assert!(
-                order.iter().all(|c| idle.iter().any(|&(ic, _, _)| ic == *c)),
+                order
+                    .iter()
+                    .all(|c| idle.iter().any(|&(ic, _, _)| ic == *c)),
                 "rank_idle must return idle cores"
             );
             let mut dispatched = false;
@@ -217,7 +279,9 @@ pub fn execute(
                     pid,
                     trace,
                     quantum_end,
+                    state: RunState::Executing,
                 });
+                busy.push(Reverse((start, core)));
                 core_sequences[core].push(pid);
                 last_on_core[core] = Some(pid);
                 execs
@@ -237,11 +301,11 @@ pub fn execute(
             }
         }
 
-        // Find the busy core with the smallest clock.
-        let busy = (0..cores)
-            .filter(|&c| running[c].is_some())
-            .min_by_key(|&c| (machine.core_clock(c).expect("core in range"), c));
-        let Some(core) = busy else {
+        // Select the busy core whose entry has the smallest (key, core).
+        // An entry's key is the core's clock while executing, or a
+        // deferred event's scheduling position once its batch ended in a
+        // completion or preemption.
+        let Some(Reverse((key, core))) = busy.pop() else {
             if tracker.all_done() {
                 break;
             }
@@ -249,27 +313,12 @@ pub fn execute(
                 ready: tracker.ready_len(),
             });
         };
-
-        // Execute the next op of the process on that core.
-        let slot = running[core].as_mut().expect("core is busy");
-        match slot.trace.next() {
-            Some(op) => {
-                machine.exec_op(core, op)?;
-                if let Some(qe) = slot.quantum_end {
-                    if machine.core_clock(core)? >= qe {
-                        let Running { pid, trace, .. } =
-                            running[core].take().expect("core is busy");
-                        paused.insert(pid, trace);
-                        tracker.preempt(pid)?;
-                        let now = machine.core_clock(core)?;
-                        ready_at.insert(pid, now);
-                        policy.on_preempt(pid, now);
-                    }
-                }
-            }
-            None => {
-                let Running { pid, .. } = running[core].take().expect("core is busy");
+        let state = running[core].as_ref().expect("core is busy").state;
+        match state {
+            RunState::FinishPending => {
                 let now = machine.core_clock(core)?;
+                debug_assert_eq!(now, key, "completion key is the finish clock");
+                let Running { pid, .. } = running[core].take().expect("core is busy");
                 if let Some(e) = execs.get_mut(&pid) {
                     e.finish = now;
                     e.core = core;
@@ -278,7 +327,68 @@ pub fn execute(
                     ready_at.insert(succ, now);
                     policy.on_ready(succ, now);
                 }
+                continue;
             }
+            RunState::PreemptPending => {
+                // Ready again at the core's *post-op* clock, as in the
+                // seed engine (the key was the crossing op's pre-clock).
+                let now = machine.core_clock(core)?;
+                let Running { pid, trace, .. } = running[core].take().expect("core is busy");
+                paused.insert(pid, trace);
+                tracker.preempt(pid)?;
+                ready_at.insert(pid, now);
+                policy.on_preempt(pid, now);
+                continue;
+            }
+            RunState::Executing => {
+                debug_assert_eq!(machine.core_clock(core)?, key, "stale heap entry");
+            }
+        }
+
+        // Event horizon: nothing the policy can observe changes before
+        // (a) this core's quantum expires, or (b) a gated idle core
+        // becomes eligible for dispatch (every busy clock passes its
+        // earliest start). Completion/preemption need no horizon — they
+        // end the batch on their own and are re-queued as deferred
+        // events at their exact scheduling position. Only when a shared
+        // bus is configured must the batch also stop at the
+        // second-smallest busy clock, because then the global *op*
+        // interleaving (bus arbitration order) is observable, not just
+        // the event order.
+        let quantum_end = running[core].as_ref().expect("core is busy").quantum_end;
+        let mut horizon = quantum_end.unwrap_or(u64::MAX);
+        if config.machine.bus.is_some() {
+            horizon = horizon.min(busy.peek().map_or(u64::MAX, |&Reverse((t, _))| t));
+        }
+        if tracker.ready_len() > 0 {
+            let min_ready_at = tracker
+                .ready()
+                .map(|p| ready_at.get(&p).copied().unwrap_or(0))
+                .min()
+                .unwrap_or(0);
+            for (c, slot) in running.iter().enumerate() {
+                if slot.is_none() {
+                    let gate = machine.core_clock(c)?.max(min_ready_at) + 1;
+                    horizon = horizon.min(gate);
+                }
+            }
+        }
+
+        let slot = running[core].as_mut().expect("core is busy");
+        let outcome = machine.exec_until(core, &mut slot.trace, horizon)?;
+        let now = machine.core_clock(core)?;
+        if outcome.exhausted {
+            // Defer: the seed engine discovered an empty trace at the
+            // *next selection* of this core, i.e. when (finish, core)
+            // becomes the minimum key.
+            slot.state = RunState::FinishPending;
+            busy.push(Reverse((now, core)));
+        } else if quantum_end.is_some_and(|qe| now >= qe) {
+            // Defer to the crossing op's pre-clock (see RunState docs).
+            slot.state = RunState::PreemptPending;
+            busy.push(Reverse((outcome.last_op_start, core)));
+        } else {
+            busy.push(Reverse((now, core)));
         }
     }
 
@@ -305,11 +415,7 @@ mod tests {
         }
     }
 
-    fn run_policy(
-        workload: &Workload,
-        policy: &mut dyn Policy,
-        cores: usize,
-    ) -> RunResult {
+    fn run_policy(workload: &Workload, policy: &mut dyn Policy, cores: usize) -> RunResult {
         let layout = Layout::linear(workload.arrays());
         execute(workload, &layout, policy, small_machine(cores)).unwrap()
     }
@@ -327,7 +433,10 @@ mod tests {
             let r = run_policy(&w, p.as_mut(), 4);
             assert_eq!(r.processes.len(), 9, "{} lost processes", p.name());
             assert!(r.makespan_cycles > 0);
-            assert!(r.processes.values().all(|e| e.finish > e.start || e.finish >= e.start));
+            assert!(r
+                .processes
+                .values()
+                .all(|e| e.finish > e.start || e.finish >= e.start));
         }
     }
 
@@ -401,7 +510,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(chained_pairs, 4, "8 processes on 4 cores = 1 chain pair each");
+        assert_eq!(
+            chained_pairs, 4,
+            "8 processes on 4 cores = 1 chain pair each"
+        );
         // Greedy core-by-core selection (as in the paper's Figure 3)
         // cannot guarantee every chain shares: after {0,1,4,7} run in
         // round one, three cores grab the sharing partners {2,3,6} and
@@ -429,7 +541,7 @@ mod tests {
     }
 
     #[test]
-    fn makespan_not_less_than_critical_path_work(){
+    fn makespan_not_less_than_critical_path_work() {
         let w = Workload::single(suite::mxm(Scale::Tiny)).unwrap();
         let mut p = RandomPolicy::new(0);
         let r = run_policy(&w, &mut p, 8);

@@ -82,6 +82,9 @@ mod tests {
     #[test]
     fn display() {
         let e = Error::EngineStalled { ready: 3 };
-        assert_eq!(e.to_string(), "policy stalled the engine with 3 ready processes");
+        assert_eq!(
+            e.to_string(),
+            "policy stalled the engine with 3 ready processes"
+        );
     }
 }

@@ -6,12 +6,12 @@ use lams_mpsoc::MachineConfig;
 use lams_presburger::IndexSet;
 use lams_workloads::{AppSpec, Workload};
 
+use crate::report::{ComparisonReport, RunOutcome};
 use crate::round_robin::DEFAULT_QUANTUM;
 use crate::{
     execute, EngineConfig, LocalityPolicy, PolicyKind, RandomPolicy, Result, RoundRobinPolicy,
     RunResult, SharingMatrix,
 };
-use crate::report::{ComparisonReport, RunOutcome};
 
 /// What the LSM data-mapping phase decided (kept for inspection).
 #[derive(Debug, Clone)]
@@ -268,13 +268,7 @@ impl Experiment {
         let mean = conflicts.mean_all_pairs();
         let candidates: Vec<f64> = match self.relayout_threshold {
             Some(t) => vec![t],
-            None => vec![
-                mean,
-                mean * 4.0,
-                mean * 16.0,
-                mean * 64.0,
-                mean * 256.0,
-            ],
+            None => vec![mean, mean * 4.0, mean * 16.0, mean * 64.0, mean * 256.0],
         };
         // Per-application adjacencies: the deployment model in which each
         // application ships with its own compiler-chosen mapping (no
@@ -437,8 +431,6 @@ mod tests {
         let s2 = base.clone().with_seed(99).run(PolicyKind::Random).unwrap();
         // Different seeds almost surely give different schedules; allow
         // equality of makespans but demand different core sequences.
-        assert!(
-            s1.core_sequences != s2.core_sequences || s1.makespan_cycles != s2.makespan_cycles
-        );
+        assert!(s1.core_sequences != s2.core_sequences || s1.makespan_cycles != s2.makespan_cycles);
     }
 }

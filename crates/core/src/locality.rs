@@ -122,17 +122,14 @@ impl Policy for LocalityPolicy {
         // Phase 2: maximize sharing with the previous process on this
         // core; ties (and cores with no history) take the smallest id.
         match last {
-            Some(prev) => ready
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    self.sharing
-                        .get(prev, a)
-                        .cmp(&self.sharing.get(prev, b))
-                        // On equal sharing prefer the smaller id: reverse
-                        // the id ordering under `max_by`.
-                        .then_with(|| b.cmp(&a))
-                }),
+            Some(prev) => ready.iter().copied().max_by(|&a, &b| {
+                self.sharing
+                    .get(prev, a)
+                    .cmp(&self.sharing.get(prev, b))
+                    // On equal sharing prefer the smaller id: reverse
+                    // the id ordering under `max_by`.
+                    .then_with(|| b.cmp(&a))
+            }),
             None => ready.first().copied(),
         }
     }
@@ -195,17 +192,24 @@ mod tests {
         let ids: Vec<u32> = survivors.iter().map(|p| p.index()).collect();
         // End processes (0 and 7) have the least total sharing and must
         // survive the greedy eviction.
-        assert!(ids.contains(&0), "P0 evicted despite minimal sharing: {ids:?}");
-        assert!(ids.contains(&7), "P7 evicted despite minimal sharing: {ids:?}");
+        assert!(
+            ids.contains(&0),
+            "P0 evicted despite minimal sharing: {ids:?}"
+        );
+        assert!(
+            ids.contains(&7),
+            "P7 evicted despite minimal sharing: {ids:?}"
+        );
     }
 
     #[test]
     fn steady_state_picks_max_sharing_successor() {
         let m = prog1_sharing();
         let mut ls = LocalityPolicy::new(m, 4);
-        ls.initialized = true; // skip phase 1 for this unit test
-        // Previous process on the core was P3; P2 and P4 share 2000 with
-        // it, P1/P5 share 1000. Smallest id among the 2000-sharers wins.
+        // Skip phase 1 for this unit test. Previous process on the core
+        // was P3; P2 and P4 share 2000 with it, P1/P5 share 1000.
+        // Smallest id among the 2000-sharers wins.
+        ls.initialized = true;
         let ready = vec![pid(1), pid(2), pid(4), pid(5)];
         assert_eq!(ls.select(0, Some(pid(3)), &ready), Some(pid(2)));
         // Without P2: P4 wins.
@@ -254,9 +258,6 @@ mod tests {
 
     #[test]
     fn runs_to_completion() {
-        assert_eq!(
-            LocalityPolicy::new(prog1_sharing(), 4).quantum(),
-            None
-        );
+        assert_eq!(LocalityPolicy::new(prog1_sharing(), 4).quantum(), None);
     }
 }

@@ -27,11 +27,7 @@ pub struct ComparisonReport {
 }
 
 impl ComparisonReport {
-    pub(crate) fn new(
-        workload: String,
-        machine: MachineConfig,
-        outcomes: Vec<RunOutcome>,
-    ) -> Self {
+    pub(crate) fn new(workload: String, machine: MachineConfig, outcomes: Vec<RunOutcome>) -> Self {
         ComparisonReport {
             workload,
             machine,
@@ -103,9 +99,8 @@ impl ComparisonReport {
     /// One CSV row per policy:
     /// `workload,policy,cycles,seconds,hits,misses,conflict_misses,remapped`.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "workload,policy,cycles,seconds,hits,misses,conflict_misses,remapped\n",
-        );
+        let mut out =
+            String::from("workload,policy,cycles,seconds,hits,misses,conflict_misses,remapped\n");
         for o in &self.outcomes {
             let c = &o.result.machine.cache;
             out.push_str(&format!(

@@ -122,10 +122,7 @@ mod tests {
     #[test]
     fn quantum_is_reported() {
         assert_eq!(RoundRobinPolicy::new(123).quantum(), Some(123));
-        assert_eq!(
-            RoundRobinPolicy::default().quantum(),
-            Some(DEFAULT_QUANTUM)
-        );
+        assert_eq!(RoundRobinPolicy::default().quantum(), Some(DEFAULT_QUANTUM));
     }
 
     #[test]

@@ -126,10 +126,7 @@ impl SharingMatrix {
     where
         I: IntoIterator<Item = ProcessId>,
     {
-        candidates
-            .into_iter()
-            .map(|q| self.get(p, q))
-            .sum()
+        candidates.into_iter().map(|q| self.get(p, q)).sum()
     }
 
     /// Renders the matrix in the triangular style of Figure 2(a).
@@ -146,10 +143,7 @@ impl SharingMatrix {
                 if p == q {
                     out.push_str(&format!("{:>7}", "-"));
                 } else {
-                    out.push_str(&format!(
-                        "{:>7}",
-                        self.data[p * self.n + q]
-                    ));
+                    out.push_str(&format!("{:>7}", self.data[p * self.n + q]));
                 }
             }
             out.push('\n');

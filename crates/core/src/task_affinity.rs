@@ -103,11 +103,8 @@ mod tests {
     fn prefers_same_task() {
         // Two concurrent apps: Shape (9 procs: ids 0..9) + Track (12:
         // ids 9..21).
-        let w = Workload::concurrent(vec![
-            suite::shape(Scale::Tiny),
-            suite::track(Scale::Tiny),
-        ])
-        .unwrap();
+        let w = Workload::concurrent(vec![suite::shape(Scale::Tiny), suite::track(Scale::Tiny)])
+            .unwrap();
         let mut tas = TaskAffinityPolicy::new(&w);
         // Core last ran a Track process; Track work is ready.
         let ready = vec![pid(4), pid(13)];
@@ -121,11 +118,8 @@ mod tests {
 
     #[test]
     fn rank_prefers_affinity_cores() {
-        let w = Workload::concurrent(vec![
-            suite::shape(Scale::Tiny),
-            suite::track(Scale::Tiny),
-        ])
-        .unwrap();
+        let w = Workload::concurrent(vec![suite::shape(Scale::Tiny), suite::track(Scale::Tiny)])
+            .unwrap();
         let mut tas = TaskAffinityPolicy::new(&w);
         // Core 0 last ran Shape, core 1 last ran Track; only Track work
         // is ready -> core 1 picks first despite a later clock.

@@ -1,6 +1,10 @@
 //! Property tests over the scheduling engine: on randomly generated
 //! staged workloads, every policy completes every process exactly once,
-//! respects dependences, and is deterministic.
+//! respects dependences, and is deterministic — plus a differential
+//! check of the batched event-horizon engine against a one-op-at-a-time
+//! reference implementation (the seed engine's dispatch loop).
+
+use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
@@ -8,8 +12,150 @@ use lams_core::{
     execute, EngineConfig, LocalityPolicy, Policy, RandomPolicy, RoundRobinPolicy, SharingMatrix,
 };
 use lams_layout::Layout;
-use lams_mpsoc::MachineConfig;
-use lams_workloads::{synthetic_app, SyntheticConfig, Workload};
+use lams_mpsoc::{BusConfig, CoreId, Machine, MachineConfig};
+use lams_procgraph::{ProcessId, ReadyTracker};
+use lams_workloads::{synthetic_app, SyntheticConfig, Trace, Workload};
+
+/// Per-process record of the reference engine: (start, finish,
+/// dispatches).
+type RefExecs = BTreeMap<ProcessId, (u64, u64, u32)>;
+
+/// The seed engine, verbatim in structure: re-collects the ready set,
+/// rescans all cores and re-enters the dispatch loop after *every*
+/// trace op. Slow but obviously time-ordered — the batched engine must
+/// reproduce its schedules bit for bit.
+#[allow(clippy::too_many_lines)]
+fn execute_reference(
+    workload: &Workload,
+    layout: &Layout,
+    policy: &mut dyn Policy,
+    config: EngineConfig,
+) -> (u64, Vec<Vec<ProcessId>>, RefExecs) {
+    let mut machine = Machine::try_new(config.machine).expect("valid machine");
+    let cores = machine.num_cores();
+    let mut tracker = ReadyTracker::new(workload.epg());
+    let mut ready_at: BTreeMap<ProcessId, u64> = BTreeMap::new();
+    let mut paused: BTreeMap<ProcessId, Trace<'_>> = BTreeMap::new();
+    struct Slot<'a> {
+        pid: ProcessId,
+        trace: Trace<'a>,
+        quantum_end: Option<u64>,
+    }
+    let mut running: Vec<Option<Slot<'_>>> = (0..cores).map(|_| None).collect();
+    let mut last_on_core: Vec<Option<ProcessId>> = vec![None; cores];
+    let mut core_sequences: Vec<Vec<ProcessId>> = vec![Vec::new(); cores];
+    // pid -> (start, finish, dispatches)
+    let mut execs: BTreeMap<ProcessId, (u64, u64, u32)> = BTreeMap::new();
+
+    for p in tracker.ready().collect::<Vec<_>>() {
+        ready_at.insert(p, 0);
+        policy.on_ready(p, 0);
+    }
+
+    loop {
+        loop {
+            let ready_vec: Vec<ProcessId> = tracker.ready().collect();
+            if ready_vec.is_empty() {
+                break;
+            }
+            let min_busy_clock = (0..cores)
+                .filter(|&c| running[c].is_some())
+                .map(|c| machine.core_clock(c).unwrap())
+                .min();
+            let min_ready_at = ready_vec
+                .iter()
+                .map(|p| ready_at.get(p).copied().unwrap_or(0))
+                .min()
+                .unwrap_or(0);
+            let idle: Vec<(CoreId, Option<ProcessId>, u64)> = (0..cores)
+                .filter(|&c| running[c].is_none())
+                .filter(|&c| {
+                    let clock = machine.core_clock(c).unwrap();
+                    let earliest_start = clock.max(min_ready_at);
+                    min_busy_clock.is_none_or(|mb| earliest_start < mb)
+                })
+                .map(|c| (c, last_on_core[c], machine.core_clock(c).unwrap()))
+                .collect();
+            if idle.is_empty() {
+                break;
+            }
+            let order = policy.rank_idle(&idle, &ready_vec);
+            let mut dispatched = false;
+            for core in order {
+                let Some(pid) = policy.select(core, last_on_core[core], &ready_vec) else {
+                    continue;
+                };
+                tracker.start(pid).unwrap();
+                let start = machine
+                    .core_clock(core)
+                    .unwrap()
+                    .max(ready_at.get(&pid).copied().unwrap_or(0));
+                machine.wait_until(core, start).unwrap();
+                let trace = paused
+                    .remove(&pid)
+                    .unwrap_or_else(|| workload.trace(pid, layout));
+                let quantum_end = config
+                    .quantum_override
+                    .or(policy.quantum())
+                    .map(|q| start + q);
+                running[core] = Some(Slot {
+                    pid,
+                    trace,
+                    quantum_end,
+                });
+                core_sequences[core].push(pid);
+                last_on_core[core] = Some(pid);
+                execs
+                    .entry(pid)
+                    .and_modify(|e| e.2 += 1)
+                    .or_insert((start, 0, 1));
+                dispatched = true;
+                break;
+            }
+            if !dispatched {
+                break;
+            }
+        }
+
+        let busy = (0..cores)
+            .filter(|&c| running[c].is_some())
+            .min_by_key(|&c| (machine.core_clock(c).unwrap(), c));
+        let Some(core) = busy else {
+            assert!(tracker.all_done(), "reference engine stalled");
+            break;
+        };
+
+        let slot = running[core].as_mut().unwrap();
+        match slot.trace.next() {
+            Some(op) => {
+                machine.exec_op(core, op).unwrap();
+                if let Some(qe) = slot.quantum_end {
+                    if machine.core_clock(core).unwrap() >= qe {
+                        let Slot { pid, trace, .. } = running[core].take().unwrap();
+                        paused.insert(pid, trace);
+                        tracker.preempt(pid).unwrap();
+                        let now = machine.core_clock(core).unwrap();
+                        ready_at.insert(pid, now);
+                        policy.on_preempt(pid, now);
+                    }
+                }
+            }
+            None => {
+                let Slot { pid, .. } = running[core].take().unwrap();
+                let now = machine.core_clock(core).unwrap();
+                if let Some(e) = execs.get_mut(&pid) {
+                    e.1 = now;
+                }
+                for succ in tracker.complete(pid).unwrap() {
+                    ready_at.insert(succ, now);
+                    policy.on_ready(succ, now);
+                }
+            }
+        }
+    }
+
+    (machine.makespan(), core_sequences, execs)
+}
 
 fn arb_workload() -> impl Strategy<Value = Workload> {
     (0u64..64, 1usize..4, 1usize..5, 0i64..3).prop_map(|(seed, stages, pps, halo)| {
@@ -84,6 +230,50 @@ proptest! {
             r2.machine.cache.accesses(),
             "policies executed different access counts"
         );
+    }
+
+    /// Differential: the batched event-horizon engine reproduces the
+    /// reference engine's schedule exactly — makespan, per-core dispatch
+    /// sequences, per-process start/finish/dispatch counts, and cache
+    /// statistics — across policies, core counts, preemption quanta and
+    /// bus configurations.
+    #[test]
+    fn batched_engine_matches_reference(
+        w in arb_workload(),
+        cores in 1usize..5,
+        quantum in 200u64..3_000,
+        with_bus in 0u8..2,
+    ) {
+        let layout = Layout::linear(w.arrays());
+        let mut machine = MachineConfig::paper_default().with_cores(cores);
+        if with_bus == 1 {
+            machine = machine.with_bus(BusConfig { occupancy_cycles: 20 });
+        }
+        let cfg = EngineConfig::from(machine);
+        let sharing = SharingMatrix::from_workload(&w);
+        let fresh: Vec<Box<dyn Fn() -> Box<dyn Policy>>> = vec![
+            Box::new(|| Box::new(RandomPolicy::new(7))),
+            Box::new(move || Box::new(RoundRobinPolicy::new(quantum))),
+            {
+                let sharing = sharing.clone();
+                Box::new(move || Box::new(LocalityPolicy::new(sharing.clone(), cores)))
+            },
+        ];
+        for make in fresh {
+            let mut p1 = make();
+            let got = execute(&w, &layout, p1.as_mut(), cfg).expect("engine runs");
+            let mut p2 = make();
+            let (ref_makespan, ref_seqs, ref_execs) =
+                execute_reference(&w, &layout, p2.as_mut(), cfg);
+            prop_assert_eq!(got.makespan_cycles, ref_makespan, "{} makespan", p1.name());
+            prop_assert_eq!(&got.core_sequences, &ref_seqs, "{} sequences", p1.name());
+            let got_execs: RefExecs = got
+                .processes
+                .iter()
+                .map(|(&pid, e)| (pid, (e.start, e.finish, e.dispatches)))
+                .collect();
+            prop_assert_eq!(&got_execs, &ref_execs, "{} exec records", p1.name());
+        }
     }
 
     #[test]

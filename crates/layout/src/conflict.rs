@@ -148,11 +148,7 @@ impl fmt::Display for ConflictMatrix {
         writeln!(f, "ConflictMatrix {}x{}:", self.n, self.n)?;
         for x in 0..self.n {
             for y in 0..self.n {
-                write!(
-                    f,
-                    "{:>8}",
-                    self.data[x * self.n + y]
-                )?;
+                write!(f, "{:>8}", self.data[x * self.n + y])?;
             }
             writeln!(f)?;
         }

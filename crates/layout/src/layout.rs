@@ -358,6 +358,9 @@ mod tests {
     #[test]
     fn display() {
         let (t, ..) = table2();
-        assert_eq!(Layout::linear(&t).to_string(), "Layout(2 arrays, 0 remapped)");
+        assert_eq!(
+            Layout::linear(&t).to_string(),
+            "Layout(2 arrays, 0 remapped)"
+        );
     }
 }

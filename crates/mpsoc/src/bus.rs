@@ -68,7 +68,9 @@ mod tests {
 
     #[test]
     fn fcfs_arbitration() {
-        let mut b = Bus::new(BusConfig { occupancy_cycles: 5 });
+        let mut b = Bus::new(BusConfig {
+            occupancy_cycles: 5,
+        });
         assert_eq!(b.acquire(0), 0);
         assert_eq!(b.acquire(1), 5);
         assert_eq!(b.acquire(2), 10);
@@ -78,7 +80,9 @@ mod tests {
 
     #[test]
     fn idle_bus_grants_immediately() {
-        let mut b = Bus::new(BusConfig { occupancy_cycles: 5 });
+        let mut b = Bus::new(BusConfig {
+            occupancy_cycles: 5,
+        });
         b.acquire(0);
         assert_eq!(b.acquire(100), 100);
         assert_eq!(b.next_free(), 105);

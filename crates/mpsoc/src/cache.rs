@@ -1,6 +1,29 @@
 //! Set-associative LRU cache with 3C miss classification.
-
-use std::collections::{BTreeMap, HashMap, HashSet};
+//!
+//! This is the simulator's innermost hot path — every memory reference of
+//! every simulated process goes through [`Cache::access`] — so the data
+//! structures are chosen for O(1), allocation-free accesses:
+//!
+//! * the set-associative directory is one flat slab of [`Way`] slots
+//!   (`set * associativity + way`), probed linearly (associativity is
+//!   small) with power-of-two shift/mask indexing — no `Vec<Vec<_>>`
+//!   pointer chasing;
+//! * the fully-associative 3C shadow is an intrusive doubly-linked LRU
+//!   list over a slab of nodes plus an open-addressing `line -> node`
+//!   index ([`LineTable`]: one multiply-shift hash and ~1 linear probe),
+//!   replacing the seed's `HashMap` + `BTreeMap` (SipHash plus tree
+//!   rebalancing on every access).
+//!
+//! Fast-path invariants (checked by `crates/mpsoc/tests/prop.rs`, which
+//! cross-validates against a naive linear-scan reference model):
+//!
+//! * way stamps are distinct (the access clock strictly increases), so
+//!   the per-set LRU victim is unique — eviction choices are
+//!   bit-identical to any stamp-based implementation;
+//! * a `stamp == 0` way slot is empty (the clock starts at 1);
+//! * the shadow list is ordered head = least recently touched to
+//!   tail = most recently touched, and its membership equals what an
+//!   unbounded-stamp FA LRU of `num_lines` capacity would hold.
 
 use crate::{CacheConfig, CacheStats};
 
@@ -39,10 +62,243 @@ impl AccessOutcome {
     }
 }
 
+/// One way slot of the flat set-associative directory. `stamp == 0`
+/// means empty (the access clock starts at 1).
 #[derive(Debug, Clone, Copy)]
 struct Way {
     line: u64,
     stamp: u64,
+}
+
+const EMPTY: Way = Way { line: 0, stamp: 0 };
+
+/// Slot value marking an empty [`LineTable`] slot.
+const VACANT: u32 = u32::MAX;
+
+/// Minimal open-addressing hash table from cache-line numbers to `u32`
+/// payloads: Fibonacci multiply-shift hashing, linear probing at a load
+/// factor of at most 1/2, backward-shift deletion (no tombstones).
+///
+/// This is the cheapest possible index for the hot path's single-word
+/// keys — one multiply plus on average about one slot probe — replacing
+/// the seed's SipHash `HashMap`/`HashSet`. `value == VACANT` marks an
+/// empty slot, so payloads must stay below `u32::MAX` (node indices and
+/// the set marker do).
+#[derive(Debug, Clone)]
+struct LineTable {
+    /// (line, value) pairs; `value == VACANT` means empty.
+    slots: Box<[(u64, u32)]>,
+    mask: usize,
+    shift: u32,
+    len: usize,
+}
+
+impl LineTable {
+    fn with_capacity(cap: usize) -> Self {
+        // At least 2x the expected population, and at least 8 slots.
+        let slots = (cap.max(4) * 2).next_power_of_two();
+        LineTable {
+            slots: vec![(0, VACANT); slots].into_boxed_slice(),
+            mask: slots - 1,
+            shift: 64 - slots.trailing_zeros(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, line: u64) -> usize {
+        // Fibonacci hashing spreads consecutive line numbers well.
+        (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
+    }
+
+    #[inline]
+    fn get(&self, line: u64) -> Option<u32> {
+        let mut i = self.bucket(line);
+        loop {
+            let (key, value) = self.slots[i & self.mask];
+            if value == VACANT {
+                return None;
+            }
+            if key == line {
+                return Some(value);
+            }
+            i += 1;
+        }
+    }
+
+    /// Inserts a line that is **not** present (callers check first).
+    #[inline]
+    fn insert(&mut self, line: u64, value: u32) {
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mut i = self.bucket(line);
+        loop {
+            let slot = &mut self.slots[i & self.mask];
+            if slot.1 == VACANT {
+                *slot = (line, value);
+                self.len += 1;
+                return;
+            }
+            debug_assert_ne!(slot.0, line, "duplicate insert");
+            i += 1;
+        }
+    }
+
+    /// Removes a line that **is** present, with backward-shift deletion
+    /// so probe chains stay dense (no tombstones).
+    #[inline]
+    fn remove(&mut self, line: u64) {
+        let mut i = self.bucket(line);
+        loop {
+            let idx = i & self.mask;
+            debug_assert_ne!(self.slots[idx].1, VACANT, "removing absent line");
+            if self.slots[idx].0 == line {
+                break;
+            }
+            i += 1;
+        }
+        let mut hole = i & self.mask;
+        let mut j = hole;
+        loop {
+            j = (j + 1) & self.mask;
+            let (key, value) = self.slots[j];
+            if value == VACANT {
+                break;
+            }
+            // Shift back entries whose home bucket does not lie in the
+            // (cyclic) open interval (hole, j].
+            let home = self.bucket(key) & self.mask;
+            let dist_home = j.wrapping_sub(home) & self.mask;
+            let dist_hole = j.wrapping_sub(hole) & self.mask;
+            if dist_home >= dist_hole {
+                self.slots[hole] = self.slots[j];
+                hole = j;
+            }
+        }
+        self.slots[hole].1 = VACANT;
+        self.len -= 1;
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.slots, vec![(0, VACANT); 0].into_boxed_slice());
+        let slots = old.len() * 2;
+        self.slots = vec![(0, VACANT); slots].into_boxed_slice();
+        self.mask = slots - 1;
+        self.shift = 64 - slots.trailing_zeros();
+        self.len = 0;
+        for (key, value) in old.iter().copied() {
+            if value != VACANT {
+                self.insert(key, value);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill((0, VACANT));
+        self.len = 0;
+    }
+}
+
+/// Sentinel node index for the shadow's intrusive list.
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    line: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// Fully-associative LRU shadow of `cap` lines: an intrusive
+/// doubly-linked list (head = LRU, tail = MRU) over a slab of nodes,
+/// indexed by a [`LineTable`]. All operations are O(1).
+#[derive(Debug, Clone)]
+struct Shadow {
+    cap: usize,
+    index: LineTable,
+    nodes: Vec<Node>,
+    head: u32,
+    tail: u32,
+}
+
+impl Shadow {
+    fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Shadow {
+            cap,
+            index: LineTable::with_capacity(cap),
+            nodes: Vec::with_capacity(cap),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    #[inline]
+    fn unlink(&mut self, i: u32) {
+        let Node { prev, next, .. } = self.nodes[i as usize];
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n as usize].prev = prev,
+        }
+    }
+
+    #[inline]
+    fn push_mru(&mut self, i: u32) {
+        let node = &mut self.nodes[i as usize];
+        node.prev = self.tail;
+        node.next = NIL;
+        match self.tail {
+            NIL => self.head = i,
+            t => self.nodes[t as usize].next = i,
+        }
+        self.tail = i;
+    }
+
+    /// Touches `line` (insert or refresh at MRU, evicting the LRU line
+    /// when full) and returns whether it was already present.
+    #[inline]
+    fn touch(&mut self, line: u64) -> bool {
+        if let Some(i) = self.index.get(line) {
+            if self.tail != i {
+                self.unlink(i);
+                self.push_mru(i);
+            }
+            return true;
+        }
+        if self.nodes.len() == self.cap {
+            // Full: evict the LRU head and reuse its node slot.
+            let victim = self.head;
+            let old_line = self.nodes[victim as usize].line;
+            self.index.remove(old_line);
+            self.unlink(victim);
+            self.nodes[victim as usize].line = line;
+            self.push_mru(victim);
+            self.index.insert(line, victim);
+        } else {
+            let i = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                line,
+                prev: NIL,
+                next: NIL,
+            });
+            self.push_mru(i);
+            self.index.insert(line, i);
+        }
+        false
+    }
+
+    fn clear(&mut self) {
+        self.index.clear();
+        self.nodes.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
 }
 
 /// A private, set-associative, write-allocate LRU cache.
@@ -64,32 +320,46 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// `addr >> line_shift` is the line number.
+    line_shift: u32,
+    /// `line & set_mask` is the set index (num_sets is a power of two).
+    set_mask: u64,
+    assoc: usize,
+    /// Flat way storage: `ways[set * assoc .. (set + 1) * assoc]`.
+    ways: Box<[Way]>,
     clock: u64,
     stats: CacheStats,
-    classify: bool,
+    /// 3C machinery, present only when classification is on.
+    shadow: Option<Box<Shadow>>,
     /// Lines ever seen (for cold-miss detection).
-    seen: HashSet<u64>,
-    /// Fully-associative LRU shadow of equal capacity: line -> stamp.
-    shadow: HashMap<u64, u64>,
-    /// stamp -> line (eviction order for the shadow).
-    shadow_order: BTreeMap<u64, u64>,
+    seen: LineTable,
 }
 
 impl Cache {
     /// Creates an empty cache. `classify` enables 3C classification
     /// (adds a fully-associative shadow directory; ~2x slower).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`CacheConfig::validate`] — shift/mask
+    /// indexing requires the power-of-two geometry the validator
+    /// guarantees.
     pub fn new(config: CacheConfig, classify: bool) -> Self {
+        config
+            .validate()
+            .expect("cache geometry must be valid (powers of two)");
         let num_sets = config.num_sets() as usize;
+        let assoc = config.associativity as usize;
         Cache {
             config,
-            sets: vec![Vec::new(); num_sets],
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: config.num_sets() - 1,
+            assoc,
+            ways: vec![EMPTY; num_sets * assoc].into_boxed_slice(),
             clock: 0,
             stats: CacheStats::default(),
-            classify,
-            seen: HashSet::new(),
-            shadow: HashMap::new(),
-            shadow_order: BTreeMap::new(),
+            shadow: classify.then(|| Box::new(Shadow::new(config.num_lines() as usize))),
+            seen: LineTable::with_capacity(config.num_lines() as usize),
         }
     }
 
@@ -105,64 +375,75 @@ impl Cache {
 
     /// Whether a byte address is currently resident.
     pub fn is_resident(&self, addr: u64) -> bool {
-        let line = self.config.line_of(addr);
-        let set = (line % self.config.num_sets()) as usize;
-        self.sets[set].iter().any(|w| w.line == line)
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        self.ways[set * self.assoc..(set + 1) * self.assoc]
+            .iter()
+            .any(|w| w.stamp != 0 && w.line == line)
     }
 
     /// Number of currently resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.ways.iter().filter(|w| w.stamp != 0).count()
     }
 
     /// Performs one access (read or write — residency behaviour is
     /// identical) and returns the outcome, updating statistics.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> AccessOutcome {
         self.clock += 1;
-        let line = self.config.line_of(addr);
-        let set_idx = (line % self.config.num_sets()) as usize;
-        let assoc = self.config.associativity as usize;
+        let line = addr >> self.line_shift;
+        let set_base = (line & self.set_mask) as usize * self.assoc;
+        let set = &mut self.ways[set_base..set_base + self.assoc];
 
-        if let Some(w) = self.sets[set_idx].iter_mut().find(|w| w.line == line) {
-            w.stamp = self.clock;
-            self.stats.hits += 1;
-            if self.classify {
-                self.shadow_touch(line);
+        // Probe all ways, tracking the LRU victim as we go. Stamps are
+        // distinct (the clock strictly increases), so the minimum is
+        // unique and matches the seed implementation's victim choice.
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for (i, w) in set.iter_mut().enumerate() {
+            if w.stamp != 0 && w.line == line {
+                w.stamp = self.clock;
+                self.stats.hits += 1;
+                if let Some(shadow) = &mut self.shadow {
+                    shadow.touch(line);
+                }
+                return AccessOutcome::Hit;
             }
-            return AccessOutcome::Hit;
+            if w.stamp < victim_stamp {
+                victim_stamp = w.stamp;
+                victim = i;
+            }
         }
 
-        // Miss: classify before inserting into the shadow.
-        let kind = if self.classify {
-            let k = if !self.seen.contains(&line) {
-                MissKind::Cold
-            } else if self.shadow.contains_key(&line) {
-                MissKind::Conflict
-            } else {
-                MissKind::Capacity
-            };
-            self.seen.insert(line);
-            self.shadow_touch(line);
-            Some(k)
-        } else {
-            None
+        // Miss: classify before refreshing the shadow.
+        let kind = match &mut self.shadow {
+            Some(shadow) => {
+                let is_new = self.seen.get(line).is_none();
+                if is_new {
+                    self.seen.insert(line, 0);
+                }
+                let in_shadow = shadow.touch(line);
+                Some(if is_new {
+                    MissKind::Cold
+                } else if in_shadow {
+                    MissKind::Conflict
+                } else {
+                    MissKind::Capacity
+                })
+            }
+            None => None,
         };
 
-        // Insert with LRU eviction.
-        let set = &mut self.sets[set_idx];
-        if set.len() >= assoc {
-            let (victim, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .expect("non-empty set");
-            set.swap_remove(victim);
+        // Fill the empty slot with the smallest stamp, or evict the LRU
+        // way (victim_stamp != 0 means every way is occupied).
+        if victim_stamp != 0 {
             self.stats.evictions += 1;
         }
-        set.push(Way {
+        set[victim] = Way {
             line,
             stamp: self.clock,
-        });
+        };
 
         self.stats.misses += 1;
         match kind {
@@ -174,32 +455,12 @@ impl Cache {
         AccessOutcome::Miss(kind)
     }
 
-    /// Touches `line` in the fully-associative shadow (insert or refresh),
-    /// evicting its LRU entry when over capacity.
-    fn shadow_touch(&mut self, line: u64) {
-        let cap = self.config.num_lines() as usize;
-        if let Some(old) = self.shadow.insert(line, self.clock) {
-            self.shadow_order.remove(&old);
-        }
-        self.shadow_order.insert(self.clock, line);
-        if self.shadow.len() > cap {
-            let (&stamp, &victim) = self
-                .shadow_order
-                .iter()
-                .next()
-                .expect("shadow non-empty when over capacity");
-            self.shadow_order.remove(&stamp);
-            self.shadow.remove(&victim);
-        }
-    }
-
     /// Empties the cache (keeps statistics and the cold-line history).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        self.ways.fill(EMPTY);
+        if let Some(shadow) = &mut self.shadow {
+            shadow.clear();
         }
-        self.shadow.clear();
-        self.shadow_order.clear();
     }
 
     /// Resets statistics (keeps contents).
@@ -311,16 +572,26 @@ mod tests {
     }
 
     #[test]
+    fn invalid_geometry_panics() {
+        let bad = CacheConfig {
+            size_bytes: 8000, // not a power of two
+            associativity: 2,
+            line_bytes: 32,
+        };
+        assert!(std::panic::catch_unwind(|| Cache::new(bad, false)).is_err());
+    }
+
+    #[test]
     fn paper_cache_distinct_pages_no_conflict() {
         // Two arrays laid out in *different* half-pages of the paper's
         // 8 KB 2-way cache never conflict: they map to disjoint sets.
         let cfg = CacheConfig::paper_default();
         let mut c = Cache::new(cfg, true);
-        let half_page = cfg.page_bytes() / 2; // 2 KB
-        // Array 1 lives in the low half of each page, array 2 in the high
-        // half; two page-strided chunks each, so the combined working set
-        // (256 lines) exactly fills the cache and each set holds exactly
-        // `associativity` lines.
+        // 2 KB half-page. Array 1 lives in the low half of each page,
+        // array 2 in the high half; two page-strided chunks each, so the
+        // combined working set (256 lines) exactly fills the cache and
+        // each set holds exactly `associativity` lines.
+        let half_page = cfg.page_bytes() / 2;
         for rep in 0..3 {
             let _ = rep;
             for chunk in 0..2u64 {

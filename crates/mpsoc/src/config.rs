@@ -98,13 +98,22 @@ impl CacheConfig {
     }
 
     /// Line index of a byte address.
+    ///
+    /// Uses shift indexing — valid because [`CacheConfig::new`] /
+    /// [`CacheConfig::validate`] guarantee `line_bytes` is a power of
+    /// two. Constructing an unvalidated config by literal and calling
+    /// this with a non-power-of-two geometry returns garbage; the
+    /// simulator ([`crate::Cache::new`]) validates at construction.
+    #[inline]
     pub fn line_of(&self, addr: u64) -> u64 {
-        addr / self.line_bytes
+        addr >> self.line_bytes.trailing_zeros()
     }
 
-    /// Set index of a byte address.
+    /// Set index of a byte address (mask indexing; see
+    /// [`CacheConfig::line_of`] for the power-of-two requirement).
+    #[inline]
     pub fn set_of(&self, addr: u64) -> u64 {
-        self.line_of(addr) % self.num_sets()
+        self.line_of(addr) & (self.num_sets() - 1)
     }
 }
 
@@ -177,7 +186,9 @@ impl MachineConfig {
     /// invalid cache geometry.
     pub fn validate(&self) -> Result<()> {
         if self.num_cores == 0 {
-            return Err(Error::InvalidConfig("machine needs at least one core".into()));
+            return Err(Error::InvalidConfig(
+                "machine needs at least one core".into(),
+            ));
         }
         if self.clock_hz == 0 {
             return Err(Error::InvalidConfig("clock must be non-zero".into()));

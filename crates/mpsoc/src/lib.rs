@@ -28,6 +28,44 @@
 //! equally) and OS/device overheads (constant across policies). See
 //! DESIGN.md for the substitution argument.
 //!
+//! # Cost model
+//!
+//! Per trace op ([`Machine::exec_op`] / [`Machine::exec_until`]):
+//!
+//! * `Compute(c)` costs `c` cycles;
+//! * an access that hits costs `hit_latency`;
+//! * an access that misses costs `hit_latency + miss_latency` (probe
+//!   plus off-chip fetch), plus bus waiting when a [`Bus`] is
+//!   configured (request issued at `core_clock + hit_latency`, granted
+//!   FCFS in global time order).
+//!
+//! Every cost advances only the executing core's local clock, so a
+//! scheduling engine that always runs the minimum-clock core simulates
+//! cross-core interactions (the bus) in exact global time order.
+//!
+//! # Fast-path invariants
+//!
+//! The hot path is allocation-free and O(1) per access:
+//!
+//! * [`Cache`] stores ways in one flat slab (`set * associativity +
+//!   way`, `stamp == 0` = empty) with shift/mask set indexing — valid
+//!   because [`CacheConfig`] validation guarantees power-of-two
+//!   geometry. Way stamps strictly increase, so the per-set LRU victim
+//!   is unique and matches any stamp-ordered implementation.
+//! * The 3C shadow directory is an intrusive doubly-linked LRU over a
+//!   slab plus an open-addressing multiply-shift index table — no
+//!   SipHash, no `BTreeMap`.
+//! * [`Machine::exec_until`] executes a whole batch of ops with the
+//!   per-core state held in registers; per-core cache statistics are
+//!   snapshotted lazily by [`Machine::core_stats`]/[`Machine::stats`]
+//!   rather than copied per op.
+//! * Batching preserves bit-identical results: the engine only batches
+//!   the minimum-clock core up to the next event horizon, so the
+//!   global op order (and hence cache, bus and makespan state) equals
+//!   the one-op-at-a-time schedule. Verified by the differential
+//!   property tests in `crates/mpsoc/tests/prop.rs` and the golden
+//!   makespans in `tests/cross_validation.rs`.
+//!
 //! ```
 //! use lams_mpsoc::{Machine, MachineConfig, TraceOp};
 //!
@@ -62,6 +100,6 @@ pub use cache::{AccessOutcome, Cache, MissKind};
 pub use config::{BusConfig, CacheConfig, MachineConfig};
 pub use energy::EnergyModel;
 pub use error::{Error, Result};
-pub use machine::{CoreId, Machine};
+pub use machine::{BatchOutcome, CoreId, Machine};
 pub use stats::{CacheStats, CoreStats, MachineStats};
 pub use trace::{TraceOp, TraceStats};

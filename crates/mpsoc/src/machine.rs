@@ -11,7 +11,25 @@ pub type CoreId = usize;
 struct Core {
     cache: Cache,
     clock: u64,
+    /// Running counters *except* `cache`, which is snapshotted lazily
+    /// from the core's cache by [`Machine::core_stats`] — copying the
+    /// cache counters on every op was a measurable hot-path cost.
     stats: CoreStats,
+}
+
+/// Result of a batched [`Machine::exec_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Trace operations executed in this batch.
+    pub ops: u64,
+    /// Whether the trace iterator was exhausted (the process finished).
+    pub exhausted: bool,
+    /// Core clock just before the final executed op (equal to the clock
+    /// at entry when no op ran). The engine uses this as the event key
+    /// for quantum preemptions: the seed engine fired a preemption right
+    /// after the crossing op, whose scheduling position is its *pre-op*
+    /// clock.
+    pub last_op_start: u64,
 }
 
 /// An embedded MPSoC: cores with private L1 caches sharing off-chip
@@ -106,16 +124,25 @@ impl Machine {
             .cores
             .get_mut(core)
             .ok_or(Error::NoSuchCore { core, num_cores: n })?;
+        let cost = Self::exec_on(c, &mut self.bus, &self.config, op);
+        Ok(cost)
+    }
+
+    /// Shared per-op cost model: a compute op costs its cycle count; a
+    /// cache hit costs `hit_latency`; a miss costs `hit_latency +
+    /// miss_latency` plus any bus waiting when a bus is configured.
+    #[inline]
+    fn exec_on(c: &mut Core, bus: &mut Option<Bus>, config: &MachineConfig, op: TraceOp) -> u64 {
         let cost = match op {
             TraceOp::Compute(cycles) => cycles,
             TraceOp::Access { addr, .. } => {
                 let outcome = c.cache.access(addr);
                 if outcome.is_hit() {
-                    self.config.hit_latency
+                    config.hit_latency
                 } else {
-                    let mut cost = self.config.hit_latency + self.config.miss_latency;
-                    if let Some(bus) = &mut self.bus {
-                        let request_at = c.clock + self.config.hit_latency;
+                    let mut cost = config.hit_latency + config.miss_latency;
+                    if let Some(bus) = bus {
+                        let request_at = c.clock + config.hit_latency;
                         let grant = bus.acquire(request_at);
                         let wait = grant - request_at;
                         c.stats.bus_wait_cycles += wait;
@@ -128,8 +155,58 @@ impl Machine {
         c.clock += cost;
         c.stats.busy_cycles += cost;
         c.stats.ops += 1;
-        c.stats.cache = *c.cache.stats();
-        Ok(cost)
+        cost
+    }
+
+    /// Executes trace ops from `ops` on `core` until the core's clock
+    /// reaches `horizon` or the iterator is exhausted, whichever comes
+    /// first. **At least one op is executed** when the iterator is
+    /// non-empty, even if the clock is already at or past `horizon` —
+    /// this mirrors the engine's one-op-per-selection semantics when two
+    /// core clocks tie.
+    ///
+    /// This is the batched fast path: the scheduling engine runs the
+    /// minimum-clock core in this tight loop until the next event
+    /// horizon instead of paying the full dispatch-scan per op. Because
+    /// only the globally minimum-clock core executes at any time, bus
+    /// arbitration still observes requests in global time order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchCore`] for an out-of-range core.
+    #[inline]
+    pub fn exec_until<I: Iterator<Item = TraceOp>>(
+        &mut self,
+        core: CoreId,
+        ops: &mut I,
+        horizon: u64,
+    ) -> Result<BatchOutcome> {
+        let n = self.cores.len();
+        let c = self
+            .cores
+            .get_mut(core)
+            .ok_or(Error::NoSuchCore { core, num_cores: n })?;
+        let mut executed = 0u64;
+        let mut last_op_start = c.clock;
+        loop {
+            let Some(op) = ops.next() else {
+                return Ok(BatchOutcome {
+                    ops: executed,
+                    exhausted: true,
+                    last_op_start,
+                });
+            };
+            last_op_start = c.clock;
+            Self::exec_on(c, &mut self.bus, &self.config, op);
+            executed += 1;
+            if c.clock >= horizon {
+                return Ok(BatchOutcome {
+                    ops: executed,
+                    exhausted: false,
+                    last_op_start,
+                });
+            }
+        }
     }
 
     /// The core's current local clock.
@@ -154,13 +231,17 @@ impl Machine {
         Ok(())
     }
 
-    /// The core's statistics.
+    /// The core's statistics, with the cache counters snapshotted at
+    /// call time (they are not accumulated per-op on the hot path).
     ///
     /// # Errors
     ///
     /// Returns [`Error::NoSuchCore`] for an out-of-range core.
-    pub fn core_stats(&self, core: CoreId) -> Result<&CoreStats> {
-        Ok(&self.core(core)?.stats)
+    pub fn core_stats(&self, core: CoreId) -> Result<CoreStats> {
+        let c = self.core(core)?;
+        let mut stats = c.stats;
+        stats.cache = *c.cache.stats();
+        Ok(stats)
     }
 
     /// Read access to a core's cache.
@@ -192,7 +273,7 @@ impl Machine {
     pub fn stats(&self) -> MachineStats {
         let mut s = MachineStats::default();
         for c in &self.cores {
-            s.cache += c.stats.cache;
+            s.cache += *c.cache.stats();
             s.total_busy_cycles += c.stats.busy_cycles;
             s.makespan_cycles = s.makespan_cycles.max(c.clock);
         }

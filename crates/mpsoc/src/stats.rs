@@ -75,7 +75,7 @@ impl fmt::Display for CacheStats {
 }
 
 /// Execution counters of one core.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Cycles spent executing (accesses + compute + memory stalls).
     pub busy_cycles: u64,

@@ -1,12 +1,90 @@
 //! Property tests for the cache model: LRU inclusion, 3C accounting,
-//! determinism, and capacity invariants.
+//! determinism, capacity invariants, and a differential check of the
+//! optimized cache against a naive reference model.
 
 use proptest::prelude::*;
 
-use lams_mpsoc::{Cache, CacheConfig, Machine, MachineConfig, TraceOp};
+use lams_mpsoc::{AccessOutcome, Cache, CacheConfig, Machine, MachineConfig, MissKind, TraceOp};
 
 fn arb_trace() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(0u64..4096, 1..400)
+}
+
+/// Naive reference cache: per-set `Vec` directories scanned linearly,
+/// stamp-based LRU, and a linear-scan fully-associative shadow for 3C
+/// classification — the obviously-correct O(n)-per-access model the
+/// optimized `Cache` (flat slab, shift/mask, intrusive-list shadow) must
+/// agree with bit for bit.
+struct RefCache {
+    cfg: CacheConfig,
+    clock: u64,
+    /// `sets[s]` holds `(line, stamp)` pairs.
+    sets: Vec<Vec<(u64, u64)>>,
+    /// FA shadow of `num_lines` capacity: `(line, stamp)` pairs.
+    shadow: Vec<(u64, u64)>,
+    /// Lines ever seen.
+    seen: Vec<u64>,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        RefCache {
+            cfg,
+            clock: 0,
+            sets: vec![Vec::new(); cfg.num_sets() as usize],
+            shadow: Vec::new(),
+            seen: Vec::new(),
+        }
+    }
+
+    fn shadow_touch(&mut self, line: u64) {
+        if let Some(e) = self.shadow.iter_mut().find(|e| e.0 == line) {
+            e.1 = self.clock;
+        } else {
+            self.shadow.push((line, self.clock));
+            if self.shadow.len() > self.cfg.num_lines() as usize {
+                let lru = self
+                    .shadow
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.1)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                self.shadow.swap_remove(lru);
+            }
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> AccessOutcome {
+        self.clock += 1;
+        let line = addr / self.cfg.line_bytes;
+        let set = (line % self.cfg.num_sets()) as usize;
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.0 == line) {
+            e.1 = self.clock;
+            self.shadow_touch(line);
+            return AccessOutcome::Hit;
+        }
+        let kind = if !self.seen.contains(&line) {
+            self.seen.push(line);
+            MissKind::Cold
+        } else if self.shadow.iter().any(|e| e.0 == line) {
+            MissKind::Conflict
+        } else {
+            MissKind::Capacity
+        };
+        self.shadow_touch(line);
+        if self.sets[set].len() >= self.cfg.associativity as usize {
+            let lru = self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .unwrap();
+            self.sets[set].swap_remove(lru);
+        }
+        self.sets[set].push((line, self.clock));
+        AccessOutcome::Miss(Some(kind))
+    }
 }
 
 proptest! {
@@ -89,6 +167,60 @@ proptest! {
         let last = *addrs.last().unwrap();
         prop_assert!(c.is_resident(last));
         prop_assert!(c.access(last).is_hit());
+    }
+
+    /// Differential: the optimized cache agrees with the naive reference
+    /// model on the outcome *and 3C kind* of every access, across
+    /// geometries (direct-mapped, 2/4-way, fully-associative).
+    #[test]
+    fn optimized_cache_matches_reference(addrs in arb_trace(), geom in 0usize..4) {
+        let cfg = [
+            CacheConfig::new(256, 1, 16).unwrap(),  // direct-mapped
+            CacheConfig::new(256, 2, 16).unwrap(),  // 2-way
+            CacheConfig::new(512, 4, 32).unwrap(),  // 4-way
+            CacheConfig::new(256, 16, 16).unwrap(), // fully associative
+        ][geom];
+        let mut fast = Cache::new(cfg, true);
+        let mut slow = RefCache::new(cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            let f = fast.access(a);
+            let s = slow.access(a);
+            prop_assert_eq!(f, s, "access {} (addr {:#x}) diverged", i, a);
+        }
+        // Residency agrees too.
+        for &a in &addrs {
+            let resident = slow
+                .sets
+                .iter()
+                .flatten()
+                .any(|e| e.0 == a / cfg.line_bytes);
+            prop_assert_eq!(fast.is_resident(a), resident);
+        }
+        prop_assert_eq!(
+            fast.resident_lines(),
+            slow.sets.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    /// Differential under flushes: a mid-stream flush keeps the two
+    /// models in agreement (history survives, contents do not).
+    #[test]
+    fn optimized_cache_matches_reference_across_flush(
+        first in arb_trace(),
+        second in arb_trace(),
+    ) {
+        let cfg = CacheConfig::new(256, 2, 16).unwrap();
+        let mut fast = Cache::new(cfg, true);
+        let mut slow = RefCache::new(cfg);
+        for &a in &first {
+            prop_assert_eq!(fast.access(a), slow.access(a));
+        }
+        fast.flush();
+        slow.sets.iter_mut().for_each(Vec::clear);
+        slow.shadow.clear();
+        for &a in &second {
+            prop_assert_eq!(fast.access(a), slow.access(a));
+        }
     }
 
     /// Machine-level: total time equals sum of op costs; makespan is the

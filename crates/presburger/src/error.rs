@@ -47,7 +47,10 @@ impl fmt::Display for Error {
             ),
             Error::MalformedSpace(msg) => write!(f, "malformed space: {msg}"),
             Error::ArityMismatch { got, expected } => {
-                write!(f, "affine map arity mismatch: got {got}, expected {expected}")
+                write!(
+                    f,
+                    "affine map arity mismatch: got {got}, expected {expected}"
+                )
             }
         }
     }

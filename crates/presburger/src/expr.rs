@@ -93,7 +93,10 @@ impl AffineExpr {
         if coeff != 0 {
             coeffs.insert(var.into(), coeff);
         }
-        AffineExpr { coeffs, constant: 0 }
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// The variable `var` with coefficient 1.
@@ -225,7 +228,11 @@ impl AffineExpr {
             return AffineExpr::zero();
         }
         AffineExpr {
-            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), c * k)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(v, c)| (v.clone(), c * k))
+                .collect(),
             constant: self.constant * k,
         }
     }
@@ -374,7 +381,10 @@ mod tests {
     #[test]
     fn substitution() {
         let e = AffineExpr::term("i", 4) + AffineExpr::term("j", 1);
-        let s = e.substitute(&Var::new("i"), &(AffineExpr::var("k") + AffineExpr::constant(2)));
+        let s = e.substitute(
+            &Var::new("i"),
+            &(AffineExpr::var("k") + AffineExpr::constant(2)),
+        );
         assert_eq!(s.coeff("k"), 4);
         assert_eq!(s.coeff("j"), 1);
         assert_eq!(s.constant_part(), 8);

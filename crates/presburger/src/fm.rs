@@ -286,9 +286,12 @@ mod tests {
 
     #[test]
     fn unbounded_direction_reported_as_none() {
-        let sys: ConstraintSystem = [Constraint::ge(AffineExpr::var("x"), AffineExpr::constant(3))]
-            .into_iter()
-            .collect();
+        let sys: ConstraintSystem = [Constraint::ge(
+            AffineExpr::var("x"),
+            AffineExpr::constant(3),
+        )]
+        .into_iter()
+        .collect();
         assert_eq!(var_bounds(&sys, &v("x")).unwrap(), (Some(3), None));
     }
 
@@ -332,7 +335,10 @@ mod tests {
     #[test]
     fn simplify_collapses_falsehood() {
         let mut sys = ConstraintSystem::new();
-        sys.push(Constraint::ge(AffineExpr::var("x"), AffineExpr::constant(0)));
+        sys.push(Constraint::ge(
+            AffineExpr::var("x"),
+            AffineExpr::constant(0),
+        ));
         sys.push(Constraint::unsatisfiable());
         let s = simplify(sys);
         assert_eq!(s.len(), 1);

@@ -37,7 +37,10 @@ impl AffineMap {
         V: Into<Var>,
     {
         AffineMap {
-            outputs: vars.into_iter().map(|v| AffineExpr::var(v.into())).collect(),
+            outputs: vars
+                .into_iter()
+                .map(|v| AffineExpr::var(v.into()))
+                .collect(),
         }
     }
 
@@ -166,7 +169,10 @@ mod tests {
         let m = AffineMap::new(vec![AffineExpr::var("i")]);
         assert_eq!(
             m.linearized(&[4, 4]),
-            Err(Error::ArityMismatch { got: 1, expected: 2 })
+            Err(Error::ArityMismatch {
+                got: 1,
+                expected: 2
+            })
         );
     }
 

@@ -3,9 +3,7 @@
 use std::fmt;
 
 use crate::fm;
-use crate::{
-    AffineExpr, AffineMap, Constraint, ConstraintSystem, Error, IndexSet, Result, Var,
-};
+use crate::{AffineExpr, AffineMap, Constraint, ConstraintSystem, Error, IndexSet, Result, Var};
 
 /// Default budget for exact enumeration (number of bounding-box points).
 ///
@@ -274,11 +272,9 @@ impl IterSpace {
         let mut out = IndexSet::new();
         let dims = self.dims.clone();
         let mut err = None;
-        self.for_each_point(DEFAULT_ENUM_BUDGET, |pt| {
-            match expr.eval_point(&dims, pt) {
-                Ok(v) => out.insert(v),
-                Err(e) => err = Some(e),
-            }
+        self.for_each_point(DEFAULT_ENUM_BUDGET, |pt| match expr.eval_point(&dims, pt) {
+            Ok(v) => out.insert(v),
+            Err(e) => err = Some(e),
         })?;
         match err {
             Some(e) => Err(e),
@@ -392,8 +388,10 @@ impl IterSpaceBuilder {
     pub fn dim_range(mut self, name: impl Into<Var>, lo: i64, hi: i64) -> Self {
         let v = name.into();
         self.dims.push(v.clone());
-        self.system
-            .push(Constraint::ge(AffineExpr::var(v.clone()), AffineExpr::constant(lo)));
+        self.system.push(Constraint::ge(
+            AffineExpr::var(v.clone()),
+            AffineExpr::constant(lo),
+        ));
         self.system
             .push(Constraint::lt(AffineExpr::var(v), AffineExpr::constant(hi)));
         self
@@ -404,8 +402,10 @@ impl IterSpaceBuilder {
     pub fn dim_eq(mut self, name: impl Into<Var>, value: i64) -> Self {
         let v = name.into();
         self.dims.push(v.clone());
-        self.system
-            .push(Constraint::eq(AffineExpr::var(v), AffineExpr::constant(value)));
+        self.system.push(Constraint::eq(
+            AffineExpr::var(v),
+            AffineExpr::constant(value),
+        ));
         self
     }
 
@@ -510,7 +510,10 @@ mod tests {
 
         let unbound = IterSpace::builder()
             .dim_range("i", 0, 4)
-            .constraint(Constraint::ge(AffineExpr::var("z"), AffineExpr::constant(0)))
+            .constraint(Constraint::ge(
+                AffineExpr::var("z"),
+                AffineExpr::constant(0),
+            ))
             .build();
         assert_eq!(unbound.unwrap_err(), Error::UnboundVariable("z".into()));
     }
@@ -588,11 +591,12 @@ mod tests {
     #[test]
     fn image_dense_row_access() {
         // d = 1000*k + i2, i2 in [0,3000): contiguous rows.
-        let s = IterSpace::builder().dim_range("i2", 0, 3000).build().unwrap();
+        let s = IterSpace::builder()
+            .dim_range("i2", 0, 3000)
+            .build()
+            .unwrap();
         for k in 0..4 {
-            let m = AffineMap::new(vec![
-                AffineExpr::var("i2") + AffineExpr::constant(1000 * k),
-            ]);
+            let m = AffineMap::new(vec![AffineExpr::var("i2") + AffineExpr::constant(1000 * k)]);
             let img = s.image_1d(&m).unwrap();
             assert_eq!(img, IndexSet::from_range(1000 * k, 1000 * k + 3000));
         }
@@ -618,9 +622,7 @@ mod tests {
             .dim_range("j", 0, 100)
             .build()
             .unwrap();
-        let m = AffineMap::new(vec![
-            AffineExpr::term("i", 100) + AffineExpr::term("j", 1),
-        ]);
+        let m = AffineMap::new(vec![AffineExpr::term("i", 100) + AffineExpr::term("j", 1)]);
         assert_eq!(s.image_1d(&m).unwrap(), IndexSet::from_range(0, 400));
     }
 
@@ -632,9 +634,7 @@ mod tests {
             .dim_range("j", 0, 10)
             .build()
             .unwrap();
-        let m = AffineMap::new(vec![
-            AffineExpr::term("i", 100) + AffineExpr::term("j", 1),
-        ]);
+        let m = AffineMap::new(vec![AffineExpr::term("i", 100) + AffineExpr::term("j", 1)]);
         let img = s.image_1d(&m).unwrap();
         assert_eq!(img.len(), 30);
         assert_eq!(img.intervals().len(), 3);
@@ -662,11 +662,7 @@ mod tests {
             .unwrap();
         let m = AffineMap::new(vec![AffineExpr::term("i", 4) + AffineExpr::var("j")]);
         let img = s.image_1d(&m).unwrap();
-        let expect: IndexSet = s
-            .iter()
-            .unwrap()
-            .map(|p| 4 * p[0] + p[1])
-            .collect();
+        let expect: IndexSet = s.iter().unwrap().map(|p| 4 * p[0] + p[1]).collect();
         assert_eq!(img, expect);
     }
 

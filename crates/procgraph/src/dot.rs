@@ -26,10 +26,7 @@ impl ProcessGraph {
         let _ = writeln!(out, "  node [shape=box, fontsize=10];");
 
         // Group nodes by task for cluster rendering.
-        let mut tasks: Vec<_> = self
-            .processes()
-            .filter_map(|p| self.task_of(p))
-            .collect();
+        let mut tasks: Vec<_> = self.processes().filter_map(|p| self.task_of(p)).collect();
         tasks.sort();
         tasks.dedup();
 

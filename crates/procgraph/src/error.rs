@@ -51,6 +51,9 @@ mod tests {
             from: ProcessId::new(1),
             to: ProcessId::new(2),
         };
-        assert_eq!(e.to_string(), "edge P1 -> P2 would create a dependence cycle");
+        assert_eq!(
+            e.to_string(),
+            "edge P1 -> P2 would create a dependence cycle"
+        );
     }
 }

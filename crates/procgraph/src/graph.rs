@@ -210,7 +210,11 @@ impl ProcessGraph {
                 }
             }
         }
-        debug_assert_eq!(out.len(), self.nodes.len(), "graph is a DAG by construction");
+        debug_assert_eq!(
+            out.len(),
+            self.nodes.len(),
+            "graph is a DAG by construction"
+        );
         out
     }
 
@@ -347,7 +351,10 @@ mod tests {
         g.add_edge(p(1), p(2)).unwrap();
         assert_eq!(
             g.add_edge(p(2), p(0)),
-            Err(Error::WouldCycle { from: p(2), to: p(0) })
+            Err(Error::WouldCycle {
+                from: p(2),
+                to: p(0)
+            })
         );
         // Graph unchanged by failed insert.
         assert_eq!(g.num_edges(), 2);

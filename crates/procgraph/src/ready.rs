@@ -46,10 +46,7 @@ impl ReadyTracker {
         for p in graph.processes() {
             let d = graph.in_degree(p);
             remaining_preds.insert(p, d);
-            succs.insert(
-                p,
-                graph.succs(p).expect("node exists").collect::<Vec<_>>(),
-            );
+            succs.insert(p, graph.succs(p).expect("node exists").collect::<Vec<_>>());
             if d == 0 {
                 ready.insert(p);
             }

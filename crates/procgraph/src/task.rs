@@ -63,7 +63,11 @@ impl Task {
     ///
     /// Panics if `j >= self.len()`.
     pub fn process(&self, j: u32) -> ProcessId {
-        assert!(j < self.count, "process index {j} out of range ({})", self.count);
+        assert!(
+            j < self.count,
+            "process index {j} out of range ({})",
+            self.count
+        );
         ProcessId::new(self.first.index() + j)
     }
 

@@ -124,9 +124,9 @@ mod tests {
         let n = 16i64;
         let r = n / 8;
         // One halo row per side: keeps boundary and interior backprojects
-    // balanced, so the critical chain benefits from inherited cache
-    // state like every other chain.
-    let h = (r / 4).max(1);
+        // balanced, so the critical chain benefits from inherited cache
+        // state like every other chain.
+        let h = (r / 4).max(1);
         // B_3 and B_4 (ids 11, 12) overlap in FS and I rows, and both
         // read the whole LUT.
         let shared = w

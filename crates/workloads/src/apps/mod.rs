@@ -132,7 +132,8 @@ mod tests {
     fn all_apps_build_at_all_scales() {
         for scale in [Scale::Tiny, Scale::Small] {
             for app in suite::all(scale) {
-                app.validate().unwrap_or_else(|e| panic!("{}: {e}", app.name));
+                app.validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", app.name));
                 let w = Workload::single(app).unwrap();
                 assert!(w.num_processes() >= 9);
             }
@@ -150,8 +151,7 @@ mod tests {
             let mut shared_pairs = 0;
             for p in 0..n {
                 for q in (p + 1)..n {
-                    if w
-                        .data_set(ProcessId::new(p))
+                    if w.data_set(ProcessId::new(p))
                         .shared_len(w.data_set(ProcessId::new(q)))
                         > 0
                     {
@@ -159,7 +159,10 @@ mod tests {
                     }
                 }
             }
-            assert!(shared_pairs >= 4, "{name}: only {shared_pairs} sharing pairs");
+            assert!(
+                shared_pairs >= 4,
+                "{name}: only {shared_pairs} sharing pairs"
+            );
         }
     }
 

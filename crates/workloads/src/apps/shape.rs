@@ -65,8 +65,17 @@ pub fn app(scale: Scale) -> AppSpec {
             ),
             accesses: vec![
                 AccessSpec::read(img, map2(v("i"), v("j"))),
-                AccessSpec::read(krn, map2(v("i") + k(-(r0 - h).max(0)), v("j") + k(-(c0 - h).max(0)))),
-                AccessSpec::read(krn, map2(v("i") + k(q + 2 * h - (r0 - h).max(0)), v("j") + k(-(c0 - h).max(0)))),
+                AccessSpec::read(
+                    krn,
+                    map2(v("i") + k(-(r0 - h).max(0)), v("j") + k(-(c0 - h).max(0))),
+                ),
+                AccessSpec::read(
+                    krn,
+                    map2(
+                        v("i") + k(q + 2 * h - (r0 - h).max(0)),
+                        v("j") + k(-(c0 - h).max(0)),
+                    ),
+                ),
                 AccessSpec::write(edg, map2(v("i"), v("j"))),
             ],
             compute_cycles_per_iter: 3,
@@ -163,6 +172,9 @@ mod tests {
     fn classifier_is_sink() {
         let w = Workload::single(app(Scale::Tiny)).unwrap();
         assert_eq!(w.epg().in_degree(ProcessId::new(8)), 4);
-        assert_eq!(w.epg().leaves().collect::<Vec<_>>(), vec![ProcessId::new(8)]);
+        assert_eq!(
+            w.epg().leaves().collect::<Vec<_>>(),
+            vec![ProcessId::new(8)]
+        );
     }
 }

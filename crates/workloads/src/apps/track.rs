@@ -112,8 +112,8 @@ mod tests {
     #[test]
     fn pipeline_stages_share_state() {
         let w = Workload::single(app(Scale::Tiny)).unwrap();
-        let sl = 16u64; // Tiny state length
-        // predict.1 and match.1 share PRED[1].
+        // Tiny state length; predict.1 and match.1 share PRED[1].
+        let sl = 16u64;
         let s = w
             .data_set(ProcessId::new(1))
             .shared_len(w.data_set(ProcessId::new(5)));

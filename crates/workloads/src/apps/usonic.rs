@@ -167,10 +167,10 @@ mod tests {
     #[test]
     fn envelope_has_single_parent_and_shares_half_tile() {
         let w = Workload::single(app(Scale::Tiny)).unwrap();
-        let m = 8u64; // Tiny
-        // envelope.0 (id 8) depends only on beamform.0 and shares its
-        // half tile of BF and ENV... ENV is written by envelope only, so
-        // the share with its beamformer is the BF half tile.
+        // Tiny. envelope.0 (id 8) depends only on beamform.0 and shares
+        // its half tile of BF and ENV... ENV is written by envelope only,
+        // so the share with its beamformer is the BF half tile.
+        let m = 8u64;
         let env0 = ProcessId::new(8);
         assert_eq!(w.epg().in_degree(env0), 1);
         let s = w.data_set(ProcessId::new(0)).shared_len(w.data_set(env0));

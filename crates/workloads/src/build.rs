@@ -124,8 +124,7 @@ impl Workload {
                     let global = ArrayId::new(array_off + a.array.index());
                     let decl = app.arrays.get(a.array).expect("validated");
                     let lin = a.map.linearized(decl.extents())?;
-                    let coeffs: Vec<i64> =
-                        dims.iter().map(|d| lin.coeff(d.clone())).collect();
+                    let coeffs: Vec<i64> = dims.iter().map(|d| lin.coeff(d.clone())).collect();
                     // Exact element footprint via the Presburger machinery.
                     let img = p.space.image_1d(&AffineMap::new(vec![lin.clone()]))?;
                     data_set.insert(global, img);
@@ -311,8 +310,7 @@ mod tests {
 
     #[test]
     fn concurrent_apps_share_nothing() {
-        let w =
-            Workload::concurrent(vec![demo_app("x"), demo_app("y")]).unwrap();
+        let w = Workload::concurrent(vec![demo_app("x"), demo_app("y")]).unwrap();
         assert_eq!(w.num_processes(), 4);
         assert_eq!(w.arrays().len(), 4);
         assert_eq!(w.tasks().len(), 2);

@@ -47,8 +47,15 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::UnknownArray { app, process, array } => {
-                write!(f, "{app}: process {process} references unknown array {array}")
+            Error::UnknownArray {
+                app,
+                process,
+                array,
+            } => {
+                write!(
+                    f,
+                    "{app}: process {process} references unknown array {array}"
+                )
             }
             Error::AccessArity {
                 app,

@@ -5,6 +5,20 @@ use lams_mpsoc::TraceOp;
 
 use crate::build::ResolvedProcess;
 
+/// Iteration points for spaces of up to this many dimensions live in an
+/// inline fixed array — no per-process heap indirection on the hot path.
+const MAX_INLINE_DIMS: usize = 8;
+
+/// Storage for the current iteration point. The Table 1 applications are
+/// all 2–3 dimensional, so the inline variant is the only one exercised
+/// in practice; the heap spill keeps arbitrarily high-dimensional
+/// user-defined spaces working.
+#[derive(Debug, Clone)]
+enum PointBuf {
+    Inline([i64; MAX_INLINE_DIMS]),
+    Heap(Vec<i64>),
+}
+
 /// Iterator yielding a process's trace operations in program order:
 /// for each iteration point (lexicographic), its array accesses followed
 /// by one `Compute` op.
@@ -16,8 +30,12 @@ use crate::build::ResolvedProcess;
 pub struct Trace<'a> {
     proc: &'a ResolvedProcess,
     layout: &'a Layout,
-    /// Current iteration point; `None` after exhaustion.
-    point: Option<Vec<i64>>,
+    /// Current iteration point; meaningful only while `alive`.
+    point: PointBuf,
+    /// Number of live dimensions in `point`.
+    ndims: usize,
+    /// `false` once the space is exhausted (or empty from the start).
+    alive: bool,
     /// Next access index within the current iteration;
     /// `== accesses.len()` means the Compute op is next.
     cursor: usize,
@@ -25,25 +43,34 @@ pub struct Trace<'a> {
 
 impl<'a> Trace<'a> {
     pub(crate) fn new(proc: &'a ResolvedProcess, layout: &'a Layout) -> Self {
-        let empty = proc.bbox.iter().any(|&(lo, hi)| hi < lo) || proc.dims.is_empty();
-        let mut point = if empty {
-            None
+        let ndims = proc.dims.len();
+        let empty = proc.bbox.iter().any(|&(lo, hi)| hi < lo) || ndims == 0;
+        let mut point = if ndims <= MAX_INLINE_DIMS {
+            let mut buf = [0i64; MAX_INLINE_DIMS];
+            for (x, &(lo, _)) in buf.iter_mut().zip(&proc.bbox) {
+                *x = lo;
+            }
+            PointBuf::Inline(buf)
         } else {
-            Some(proc.bbox.iter().map(|&(lo, _)| lo).collect::<Vec<i64>>())
+            PointBuf::Heap(proc.bbox.iter().map(|&(lo, _)| lo).collect())
         };
+        let mut alive = !empty;
         // Non-box spaces: advance to the first member point.
-        if !proc.is_box {
-            if let Some(p) = &point {
-                if !Self::member(proc, p) {
-                    let mut p = p.clone();
-                    point = Self::advance_to_member(proc, &mut p).then_some(p);
-                }
+        if alive && !proc.is_box {
+            let p = match &mut point {
+                PointBuf::Inline(buf) => &mut buf[..ndims],
+                PointBuf::Heap(v) => &mut v[..],
+            };
+            if !Self::member(proc, p) {
+                alive = Self::advance_to_member(proc, p);
             }
         }
         Trace {
             proc,
             layout,
             point,
+            ndims,
+            alive,
             cursor: 0,
         }
     }
@@ -81,17 +108,26 @@ impl<'a> Trace<'a> {
         false
     }
 
+    /// The current iteration point as a slice.
+    #[inline]
+    fn point_slice(&self) -> &[i64] {
+        match &self.point {
+            PointBuf::Inline(buf) => &buf[..self.ndims],
+            PointBuf::Heap(v) => v,
+        }
+    }
+
     /// Steps the iteration point after the Compute op.
     fn step_point(&mut self) {
-        let Some(p) = &mut self.point else { return };
-        let alive = if self.proc.is_box {
+        let p = match &mut self.point {
+            PointBuf::Inline(buf) => &mut buf[..self.ndims],
+            PointBuf::Heap(v) => &mut v[..],
+        };
+        self.alive = if self.proc.is_box {
             Self::advance_raw(self.proc, p)
         } else {
             Self::advance_to_member(self.proc, p)
         };
-        if !alive {
-            self.point = None;
-        }
         self.cursor = 0;
     }
 }
@@ -101,12 +137,14 @@ impl Iterator for Trace<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<TraceOp> {
-        let point = self.point.as_ref()?;
+        if !self.alive {
+            return None;
+        }
         if self.cursor < self.proc.accesses.len() {
             let a = &self.proc.accesses[self.cursor];
             self.cursor += 1;
             let mut lin = a.constant;
-            for (c, x) in a.coeffs.iter().zip(point) {
+            for (c, x) in a.coeffs.iter().zip(self.point_slice()) {
                 lin += c * x;
             }
             let addr = self.layout.addr(a.array, lin);
@@ -122,14 +160,16 @@ impl Iterator for Trace<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        match &self.point {
-            None => (0, Some(0)),
+        if !self.alive {
+            (0, Some(0))
+        } else {
             // Lower bound: the remainder of the current iteration.
-            Some(_) => {
-                let per_iter = self.proc.accesses.len() + 1;
-                let remaining_this_iter = per_iter - self.cursor;
-                (remaining_this_iter, Some(self.proc.num_iters as usize * per_iter))
-            }
+            let per_iter = self.proc.accesses.len() + 1;
+            let remaining_this_iter = per_iter - self.cursor;
+            (
+                remaining_this_iter,
+                Some(self.proc.num_iters as usize * per_iter),
+            )
         }
     }
 }
@@ -152,10 +192,7 @@ mod tests {
             processes: vec![ProcessSpec {
                 name: "p".into(),
                 space,
-                accesses: vec![AccessSpec::read(
-                    a,
-                    AffineMap::identity(["i", "j"]),
-                )],
+                accesses: vec![AccessSpec::read(a, AffineMap::identity(["i", "j"]))],
                 compute_cycles_per_iter: 3,
             }],
             deps: vec![],
@@ -204,10 +241,8 @@ mod tests {
         let space = IterSpace::builder().dim_range("i", 0, 4).build().unwrap();
         let mut app = app_with_space(space);
         // 1-D access map for the 2-D array: fix the column.
-        app.processes[0].accesses[0].map = AffineMap::new(vec![
-            AffineExpr::var("i"),
-            AffineExpr::constant(5),
-        ]);
+        app.processes[0].accesses[0].map =
+            AffineMap::new(vec![AffineExpr::var("i"), AffineExpr::constant(5)]);
         let w = Workload::single(app).unwrap();
         let layout = Layout::linear(w.arrays());
         let t1: Vec<_> = w.trace(ProcessId::new(0), &layout).collect();

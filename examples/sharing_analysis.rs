@@ -29,7 +29,10 @@ fn main() {
         .dim_range("i2", 0, 3000)
         .build()
         .expect("valid space");
-    println!("IS1,{k} = {is1_k} (|{}| iterations)", is1_k.count().unwrap());
+    println!(
+        "IS1,{k} = {is1_k} (|{}| iterations)",
+        is1_k.count().unwrap()
+    );
 
     let d1 = AffineMap::new(vec![
         AffineExpr::term("i1", 1000) + AffineExpr::term("i2", 1),

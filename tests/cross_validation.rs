@@ -1,12 +1,14 @@
 //! Cross-validation between the symbolic layer and the execution layer:
 //! the Presburger-computed data sets must match exactly what the traces
 //! actually touch, for every process of every suite application, under
-//! both the linear and a remapped layout.
+//! both the linear and a remapped layout — plus the golden fixed-seed
+//! makespans that pin the simulator's results across perf rewrites.
 
 use std::collections::BTreeSet;
 
+use lams::core::{Experiment, PolicyKind};
 use lams::layout::{HalfPage, Layout, RemapAssignment};
-use lams::mpsoc::{CacheConfig, TraceOp};
+use lams::mpsoc::{CacheConfig, MachineConfig, TraceOp};
 use lams::workloads::{suite, Scale, Workload};
 
 /// Replays a process trace and collects the first byte address of each
@@ -78,6 +80,64 @@ fn trace_lengths_match_declared() {
             assert_eq!(n, w.trace_len(p), "{}", w.process(p).name);
         }
     }
+}
+
+/// Golden fixed-seed makespans, recorded from the **seed engine**
+/// (one-op-at-a-time dispatch loop, `Vec`-of-`Vec` cache, PR 1 baseline)
+/// before the hot-path rewrite. The optimized engine must reproduce
+/// every value exactly: the event-horizon batching, the flat-slab cache
+/// and the O(1) shadow are performance changes only, bit-identical in
+/// simulated behaviour. If an intentional *model* change ever shifts
+/// these numbers, re-record them with
+/// `cargo run --release -p lams-bench --bin bench_summary` and say so in
+/// the changelog.
+///
+/// Setup: every Table 1 app at Tiny scale, Table 2 machine (8 cores),
+/// RS seed 12345, default RRS quantum.
+const GOLDEN_FIG6_TINY: &[(&str, PolicyKind, u64)] = &[
+    ("Med-Im04", PolicyKind::Random, 5307),
+    ("Med-Im04", PolicyKind::RoundRobin, 5007),
+    ("Med-Im04", PolicyKind::Locality, 4707),
+    ("MxM", PolicyKind::Random, 10339),
+    ("MxM", PolicyKind::RoundRobin, 10189),
+    ("MxM", PolicyKind::Locality, 10189),
+    ("Radar", PolicyKind::Random, 10272),
+    ("Radar", PolicyKind::RoundRobin, 10272),
+    ("Radar", PolicyKind::Locality, 10122),
+    ("Shape", PolicyKind::Random, 8431),
+    ("Shape", PolicyKind::RoundRobin, 8431),
+    ("Shape", PolicyKind::Locality, 7756),
+    ("Track", PolicyKind::Random, 9088),
+    ("Track", PolicyKind::RoundRobin, 9088),
+    ("Track", PolicyKind::Locality, 8488),
+    ("Usonic", PolicyKind::Random, 9200),
+    ("Usonic", PolicyKind::RoundRobin, 8708),
+    ("Usonic", PolicyKind::Locality, 7358),
+];
+
+#[test]
+fn golden_fig6_makespans_are_reproduced_exactly() {
+    for &(name, kind, expected) in GOLDEN_FIG6_TINY {
+        let app = suite::by_name(name, Scale::Tiny).expect("suite app");
+        let exp = Experiment::isolated(&app, MachineConfig::paper_default()).with_seed(12345);
+        let got = exp.run(kind).expect("policy runs").makespan_cycles;
+        assert_eq!(
+            got, expected,
+            "golden makespan drifted for {name}/{kind}: got {got}, recorded {expected}"
+        );
+    }
+}
+
+/// The engine also stays deterministic across repeated in-process runs
+/// (policy state, hash maps and heap ordering leak no nondeterminism).
+#[test]
+fn golden_runs_are_repeatable_in_process() {
+    let app = suite::usonic(Scale::Tiny);
+    let exp = Experiment::isolated(&app, MachineConfig::paper_default()).with_seed(12345);
+    let a = exp.run(PolicyKind::Locality).expect("runs");
+    let b = exp.run(PolicyKind::Locality).expect("runs");
+    assert_eq!(a.makespan_cycles, b.makespan_cycles);
+    assert_eq!(a.core_sequences, b.core_sequences);
 }
 
 #[test]

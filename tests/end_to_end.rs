@@ -35,19 +35,19 @@ fn figure6_shape_ls_beats_rs_in_aggregate() {
     let mut ls = 0u64;
     for app in suite::all(Scale::Small) {
         let exp = Experiment::isolated(&app, machine());
-        let r = exp.run_all(&[
-            PolicyKind::Random,
-            PolicyKind::RoundRobin,
-            PolicyKind::Locality,
-        ])
-        .expect("simulation succeeds");
+        let r = exp
+            .run_all(&[
+                PolicyKind::Random,
+                PolicyKind::RoundRobin,
+                PolicyKind::Locality,
+            ])
+            .expect("simulation succeeds");
         rs += r.cycles(PolicyKind::Random);
         rrs += r.cycles(PolicyKind::RoundRobin);
         ls += r.cycles(PolicyKind::Locality);
         // Per app, LS never loses to RS by more than 5%.
         assert!(
-            r.cycles(PolicyKind::Locality) as f64
-                <= r.cycles(PolicyKind::Random) as f64 * 1.05,
+            r.cycles(PolicyKind::Locality) as f64 <= r.cycles(PolicyKind::Random) as f64 * 1.05,
             "{}: LS {} vs RS {}",
             app.name,
             r.cycles(PolicyKind::Locality),

@@ -2,16 +2,14 @@
 //! policies, bus contention, and configuration errors must all fail (or
 //! succeed) loudly and predictably.
 
-use lams::core::{
-    execute, EngineConfig, Error, Policy, RandomPolicy, SharingMatrix,
-};
+use lams::core::{execute, EngineConfig, Error, Policy, RandomPolicy, SharingMatrix};
 use lams::layout::Layout;
+use lams::layout::{ArrayDecl, ArrayTable};
+use lams::mpsoc::CoreId;
 use lams::mpsoc::{BusConfig, Machine, MachineConfig};
 use lams::presburger::{AffineExpr, AffineMap, IterSpace};
 use lams::procgraph::ProcessId;
 use lams::workloads::{AccessSpec, AppSpec, ProcessSpec, Workload};
-use lams::layout::{ArrayDecl, ArrayTable};
-use lams::mpsoc::CoreId;
 
 /// A policy that never dispatches anything — contract violation.
 #[derive(Debug)]

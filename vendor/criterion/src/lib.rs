@@ -1,0 +1,271 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the API subset the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Throughput`,
+//! `sample_size`, and the `criterion_group!` / `criterion_main!` macros
+//! — backed by a simple wall-clock harness: per benchmark it calibrates
+//! an iteration count, runs `sample_size` samples, and reports
+//! `[min median max]` nanoseconds per iteration (plus elements/sec when
+//! a throughput is set).
+//!
+//! No statistics beyond the median, no plots, no baseline storage. The
+//! [`measure_ns`] helper exposes the same harness programmatically for
+//! headless tooling (`bench_summary`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Types accepted as benchmark names.
+pub trait IntoBenchmarkId {
+    /// The flattened benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &String {
+    fn into_id(self) -> String {
+        self.clone()
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// One measured benchmark: `[min median max]` ns/iter.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Median sample, ns per iteration.
+    pub median_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+}
+
+/// Runs `sample` through the harness (calibrate, then `samples` timed
+/// samples of ~`per_sample_ms` each) and returns the measurement.
+pub fn measure_ns<F: FnMut(&mut Bencher)>(
+    mut sample: F,
+    samples: usize,
+    per_sample_ms: u64,
+) -> Measurement {
+    // Calibrate: double the iteration count until one sample is long
+    // enough to time reliably, then scale to the per-sample target.
+    let mut iters: u64 = 1;
+    let per_iter_ns = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
+        sample(&mut b);
+        if b.elapsed_ns >= 1_000_000 || iters >= 1 << 30 {
+            break (b.elapsed_ns.max(1)) as f64 / iters as f64;
+        }
+        iters *= 2;
+    };
+    let target_ns = per_sample_ms as f64 * 1e6;
+    let iters = ((target_ns / per_iter_ns).ceil() as u64).max(1);
+    let mut per_iter: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0,
+            };
+            sample(&mut b);
+            b.elapsed_ns as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    Measurement {
+        min_ns: per_iter[0],
+        median_ns: per_iter[per_iter.len() / 2],
+        max_ns: per_iter[per_iter.len() - 1],
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let m = measure_ns(f, self.sample_size, self.criterion.per_sample_ms);
+        let mut line = format!(
+            "{full:<40} time: [{} {} {}]",
+            fmt_time(m.min_ns),
+            fmt_time(m.median_ns),
+            fmt_time(m.max_ns)
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (m.median_ns / 1e9);
+                line.push_str(&format!("  thrpt: {:.3} Melem/s", rate / 1e6));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (m.median_ns / 1e9);
+                line.push_str(&format!("  thrpt: {:.3} MiB/s", rate / (1024.0 * 1024.0)));
+            }
+            None => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Measures one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    per_sample_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // ~200 ms x 10 samples ≈ 2 s per benchmark by default; override
+        // with LAMS_BENCH_MS for quicker smoke runs.
+        let per_sample_ms = std::env::var("LAMS_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Criterion { per_sample_ms }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
