@@ -7,11 +7,21 @@
 //!   harness's validated threshold ladder.
 //!
 //! ```text
-//! cargo run --release -p lams-bench --bin ablation -- [--scale tiny|small|paper] [--tasks 4]
+//! cargo run --release -p lams-bench --bin ablation -- \
+//!     [--scale tiny|small|paper|large|huge] [--tasks 4] [--threads N]
 //! ```
+//!
+//! The policy-variant grid fans through a [`SweepRunner`] (the custom
+//! policies are not [`PolicyKind`]s, so they use the runner's generic
+//! indexed fan-out rather than a [`lams_core::ScenarioMatrix`]); the LSM
+//! rows run their candidate ladders on the same runner via
+//! [`Experiment::with_runner`]. Output is bit-identical for any
+//! `--threads N`.
 
-use lams_bench::{csv_table, parse_scale, parse_usize_flag};
-use lams_core::{execute, Experiment, LocalityPolicy, PolicyKind, SharingMatrix};
+use lams_bench::{csv_table, parse_scale, parse_threads, parse_usize_flag};
+use lams_core::{
+    execute, Experiment, LocalityPolicy, PolicyKind, RunResult, SharingMatrix, SweepRunner,
+};
 use lams_layout::Layout;
 use lams_mpsoc::MachineConfig;
 use lams_workloads::{suite, Workload};
@@ -20,35 +30,39 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = parse_scale(&args);
     let tasks = parse_usize_flag(&args, "--tasks", 4).clamp(1, 6);
+    let runner = SweepRunner::new(parse_threads(&args));
     let machine = MachineConfig::paper_default();
     let workload = Workload::concurrent(suite::mix(tasks, scale)).expect("valid mix");
     let layout = Layout::linear(workload.arrays());
 
-    println!("Ablation — |T|={tasks}, scale {scale}, {machine}");
-    let mut rows = Vec::new();
+    println!(
+        "Ablation — |T|={tasks}, scale {scale}, {machine}, {} thread(s)",
+        runner.threads()
+    );
 
-    // A1a: initial-round thinning.
+    // A1a (thinning on/off) and A1b (sharing granularity) use custom
+    // policy constructions; declared as labelled variants and fanned
+    // through the runner.
     let sharing = SharingMatrix::from_workload(&workload);
-    for (label, skip) in [("ls_with_thinning", false), ("ls_no_thinning", true)] {
-        let mut p = LocalityPolicy::new(sharing.clone(), machine.num_cores);
-        if skip {
+    let line_sharing = SharingMatrix::from_workload_lines(&workload, &layout, 32);
+    type Variant<'a> = (&'a str, bool, &'a SharingMatrix);
+    let variants: [Variant<'_>; 4] = [
+        ("ls_with_thinning", true, &sharing),
+        ("ls_no_thinning", false, &sharing),
+        ("ls_element_sharing", true, &sharing),
+        ("ls_line_sharing", true, &line_sharing),
+    ];
+    let eval = |&(_, thinning, matrix): &Variant<'_>| -> RunResult {
+        let mut p = LocalityPolicy::new(matrix.clone(), machine.num_cores);
+        if !thinning {
             p = p.without_initial_thinning();
         }
-        let r = execute(&workload, &layout, &mut p, machine).expect("runs");
-        rows.push(format!(
-            "{label},{},{},{}",
-            r.makespan_cycles, r.machine.cache.misses, r.machine.cache.conflict_misses
-        ));
-    }
+        execute(&workload, &layout, &mut p, machine).expect("runs")
+    };
+    let results = runner.run(variants.len(), |i| eval(&variants[i]));
 
-    // A1b: sharing granularity (elements vs 32-byte cache lines).
-    let line_sharing = SharingMatrix::from_workload_lines(&workload, &layout, 32);
-    for (label, m) in [
-        ("ls_element_sharing", &sharing),
-        ("ls_line_sharing", &line_sharing),
-    ] {
-        let mut p = LocalityPolicy::new(m.clone(), machine.num_cores);
-        let r = execute(&workload, &layout, &mut p, machine).expect("runs");
+    let mut rows = Vec::new();
+    for ((label, _, _), r) in variants.iter().zip(&results) {
         rows.push(format!(
             "{label},{},{},{}",
             r.makespan_cycles, r.machine.cache.misses, r.machine.cache.conflict_misses
@@ -56,7 +70,9 @@ fn main() {
     }
 
     // A1c: LSM threshold policy — the paper's fixed mean vs the ladder.
-    let exp = Experiment::for_workload(workload.clone(), machine);
+    // The fixed-mean run needs the ladder's conflict matrix first, so
+    // these two stay sequential; their candidate ladders fan internally.
+    let exp = Experiment::for_workload(workload.clone(), machine).with_runner(runner);
     let (ladder, art) = exp.run_lsm().expect("runs");
     rows.push(format!(
         "lsm_ladder,{},{},{}",

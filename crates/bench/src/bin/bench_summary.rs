@@ -1,9 +1,13 @@
 //! Headless perf tracker: runs the cache and engine micro-benches plus a
 //! fixed-seed fig6-style golden sweep and writes `BENCH_hotpath.json` at
 //! the workspace root, so the perf trajectory is machine-readable from
-//! PR 1 onward.
+//! PR 1 onward. Since PR 2 it also times a fig6-style [`ScenarioMatrix`]
+//! at 1 and 4 sweep threads and writes `BENCH_sweep.json` (threads,
+//! wall-clock, jobs/sec), so the trajectory captures *sweep* throughput,
+//! not just per-run throughput.
 //!
-//! Usage: `cargo run --release -p lams-bench --bin bench_summary [out.json]`
+//! Usage:
+//! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json]`
 //!
 //! The makespan checksum must stay constant across perf PRs (bit-identical
 //! simulation results); the throughput numbers are expected to move.
@@ -11,7 +15,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use lams_core::{execute, Experiment, LocalityPolicy, PolicyKind, SharingMatrix};
+use lams_core::{
+    execute, Experiment, LocalityPolicy, PolicyKind, ScenarioMatrix, SharingMatrix, SweepRunner,
+};
 use lams_layout::Layout;
 use lams_mpsoc::{Cache, CacheConfig, MachineConfig};
 use lams_workloads::{suite, Scale, Workload};
@@ -98,6 +104,72 @@ fn golden_sweep() -> Vec<(String, &'static str, u64)> {
     rows
 }
 
+/// The fig6-style sweep matrix the throughput bench times: every suite
+/// app at Small scale under two RS seeds, two RRS quanta and LS — 30
+/// independent jobs of comparable size (LSM is excluded: its inner
+/// ladder would make job sizes wildly uneven and skew the scaling
+/// number).
+fn sweep_matrix() -> ScenarioMatrix {
+    let machine = MachineConfig::paper_default();
+    let mut m = ScenarioMatrix::new();
+    for app in suite::all(Scale::Small) {
+        let exp = Experiment::isolated(&app, machine);
+        m.push(&app.name, exp.clone().with_seed(12345), PolicyKind::Random);
+        m.push(&app.name, exp.clone().with_seed(99), PolicyKind::Random);
+        m.push(
+            &app.name,
+            exp.clone().with_quantum(10_000),
+            PolicyKind::RoundRobin,
+        );
+        m.push(
+            &app.name,
+            exp.clone().with_quantum(50_000),
+            PolicyKind::RoundRobin,
+        );
+        m.push(&app.name, exp, PolicyKind::Locality);
+    }
+    m
+}
+
+struct SweepBenchRun {
+    threads: usize,
+    wall_ms: f64,
+    jobs_per_s: f64,
+    csv: String,
+}
+
+/// Times `matrix.run` at each thread count (median of `samples`) and
+/// returns per-thread-count wall-clock, throughput and the concatenated
+/// report CSVs (which must be identical across thread counts).
+fn sweep_bench(
+    matrix: &ScenarioMatrix,
+    thread_counts: &[usize],
+    samples: usize,
+) -> Vec<SweepBenchRun> {
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let runner = SweepRunner::new(threads);
+            let mut csv = String::new();
+            let ns = time_ns(
+                || {
+                    let reports = matrix.run(&runner).expect("sweep runs");
+                    csv = reports.iter().map(|r| r.to_csv()).collect();
+                    black_box(&csv);
+                },
+                1,
+                samples,
+            );
+            SweepBenchRun {
+                threads,
+                wall_ms: ns / 1e6,
+                jobs_per_s: matrix.len() as f64 / ns * 1e9,
+                csv,
+            }
+        })
+        .collect()
+}
+
 /// FNV-1a over the makespan stream — one number to eyeball across PRs.
 fn checksum(rows: &[(String, &'static str, u64)]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -114,6 +186,9 @@ fn main() {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let sweep_out = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
 
     eprintln!("bench_summary: cache micro-benches...");
     let plain = cache_melems_per_s(false);
@@ -165,4 +240,44 @@ fn main() {
 
     std::fs::write(&out, json).expect("write bench summary");
     eprintln!("bench_summary: wrote {out}");
+
+    eprintln!("bench_summary: fig6-style scenario-matrix sweep (Small, 30 jobs)...");
+    let matrix = sweep_matrix();
+    let runs = sweep_bench(&matrix, &[1, 4], 5);
+    let identical = runs.iter().all(|r| r.csv == runs[0].csv);
+    assert!(identical, "sweep reports diverged across thread counts");
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for r in &runs {
+        eprintln!(
+            "  threads={} {:>8.3} ms  ({:.1} jobs/s)",
+            r.threads, r.wall_ms, r.jobs_per_s
+        );
+    }
+    let speedup = runs[0].wall_ms / runs[runs.len() - 1].wall_ms;
+    eprintln!("  speedup {speedup:.2}x on {cpus} available CPU(s), reports bit-identical");
+
+    let mut sj = String::new();
+    sj.push_str("{\n");
+    sj.push_str("  \"schema\": 1,\n");
+    sj.push_str(&format!("  \"cpus_available\": {cpus},\n"));
+    sj.push_str("  \"matrix\": {\"style\": \"fig6\", \"scale\": \"small\", ");
+    sj.push_str(&format!(
+        "\"jobs\": {}, \"groups\": {}}},\n",
+        matrix.len(),
+        matrix.groups().len()
+    ));
+    sj.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 == runs.len() { "" } else { "," };
+        sj.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_ms\": {:.4}, \"jobs_per_s\": {:.2}}}{comma}\n",
+            r.threads, r.wall_ms, r.jobs_per_s
+        ));
+    }
+    sj.push_str("  ],\n");
+    sj.push_str(&format!("  \"speedup_vs_1_thread\": {speedup:.3},\n"));
+    sj.push_str(&format!("  \"reports_identical\": {identical}\n"));
+    sj.push_str("}\n");
+    std::fs::write(&sweep_out, sj).expect("write sweep summary");
+    eprintln!("bench_summary: wrote {sweep_out}");
 }

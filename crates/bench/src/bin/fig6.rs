@@ -2,43 +2,63 @@
 //! applications scheduled *in isolation* under RS, RRS, LS and LSM.
 //!
 //! ```text
-//! cargo run --release -p lams-bench --bin fig6 -- [--scale tiny|small|paper]
+//! cargo run --release -p lams-bench --bin fig6 -- \
+//!     [--scale tiny|small|paper|large|huge] [--threads N]
 //! ```
+//!
+//! The figure is declared as a [`ScenarioMatrix`] (one group per
+//! application, one job per policy) and executed on a [`SweepRunner`];
+//! `--threads N` fans the 24 jobs across N workers with bit-identical
+//! output. Defaults to the `large` sweep scale now that the engine and
+//! the runner make it cheap.
 //!
 //! Prints a CSV block (one row per application x policy) followed by an
 //! ASCII bar chart shaped like the paper's figure.
 
-use lams_bench::{bar_chart, csv_table, parse_scale};
-use lams_core::{Experiment, PolicyKind};
+use lams_bench::{bar_chart, csv_table, parse_scale_or, parse_threads};
+use lams_core::{Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
 use lams_mpsoc::MachineConfig;
-use lams_workloads::suite;
+use lams_workloads::{suite, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = parse_scale(&args);
+    let scale = parse_scale_or(&args, Scale::Large);
+    let runner = SweepRunner::new(parse_threads(&args));
     let machine = MachineConfig::paper_default();
 
-    println!("Figure 6 reproduction — isolated execution, scale {scale}, {machine}");
+    println!(
+        "Figure 6 reproduction — isolated execution, scale {scale}, {machine}, {} thread(s)",
+        runner.threads()
+    );
+
+    let apps = suite::all(scale);
+    let labels: Vec<&str> = suite::NAMES.to_vec();
+    let mut matrix = ScenarioMatrix::new();
+    for app in &apps {
+        matrix.push_all(
+            &app.name,
+            &Experiment::isolated(app, machine),
+            PolicyKind::ALL,
+        );
+    }
+    let reports = matrix.run(&runner).expect("simulation succeeds");
+    // One report per app: a duplicated group label would merge reports
+    // and silently misalign the rows below.
+    assert_eq!(reports.len(), apps.len(), "app names must be unique");
 
     let mut rows = Vec::new();
     let mut series: Vec<(&str, Vec<f64>)> = PolicyKind::ALL
         .iter()
         .map(|k| (k.abbrev(), Vec::new()))
         .collect();
-    let apps = suite::all(scale);
-    let labels: Vec<&str> = suite::NAMES.to_vec();
-
-    for app in &apps {
-        let report = Experiment::isolated(app, machine)
-            .run_all(PolicyKind::ALL)
-            .expect("simulation succeeds");
+    for report in &reports {
         for (si, &kind) in PolicyKind::ALL.iter().enumerate() {
             let o = report.outcome(kind).expect("ran");
             series[si].1.push(o.result.seconds);
             let c = &o.result.machine.cache;
             rows.push(format!(
                 "{},{},{},{:.6},{:.3},{},{},{}",
-                app.name,
+                report.workload(),
                 kind,
                 o.result.makespan_cycles,
                 o.result.seconds,

@@ -5,33 +5,52 @@
 //! (Med-Im04; +MxM; +Radar; …), exactly the paper's cumulative setup.
 //!
 //! ```text
-//! cargo run --release -p lams-bench --bin fig7 -- [--scale tiny|small|paper]
+//! cargo run --release -p lams-bench --bin fig7 -- \
+//!     [--scale tiny|small|paper|large|huge] [--threads N]
 //! ```
+//!
+//! The six mixes × four policies are declared as a [`ScenarioMatrix`]
+//! and executed on a [`SweepRunner`]; `--threads N` fans the jobs across
+//! N workers with bit-identical output. Defaults to the `large` sweep
+//! scale.
 
-use lams_bench::{bar_chart, csv_table, parse_scale};
-use lams_core::{Experiment, PolicyKind};
+use lams_bench::{bar_chart, csv_table, parse_scale_or, parse_threads};
+use lams_core::{Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
 use lams_mpsoc::MachineConfig;
-use lams_workloads::suite;
+use lams_workloads::{suite, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = parse_scale(&args);
+    let scale = parse_scale_or(&args, Scale::Large);
+    let runner = SweepRunner::new(parse_threads(&args));
     let machine = MachineConfig::paper_default();
 
-    println!("Figure 7 reproduction — concurrent execution, scale {scale}, {machine}");
+    println!(
+        "Figure 7 reproduction — concurrent execution, scale {scale}, {machine}, {} thread(s)",
+        runner.threads()
+    );
+
+    let labels = ["|T|=1", "|T|=2", "|T|=3", "|T|=4", "|T|=5", "|T|=6"];
+    let mut matrix = ScenarioMatrix::new();
+    for t in 1..=6usize {
+        let mix = suite::mix(t, scale);
+        matrix.push_all(
+            labels[t - 1],
+            &Experiment::concurrent(&mix, machine),
+            PolicyKind::ALL,
+        );
+    }
+    let reports = matrix.run(&runner).expect("simulation succeeds");
+    // One report per |T| point: a duplicated group label would merge
+    // reports and silently misalign the rows below.
+    assert_eq!(reports.len(), labels.len(), "mix labels must be unique");
 
     let mut rows = Vec::new();
     let mut series: Vec<(&str, Vec<f64>)> = PolicyKind::ALL
         .iter()
         .map(|k| (k.abbrev(), Vec::new()))
         .collect();
-    let labels = ["|T|=1", "|T|=2", "|T|=3", "|T|=4", "|T|=5", "|T|=6"];
-
-    for t in 1..=6usize {
-        let mix = suite::mix(t, scale);
-        let report = Experiment::concurrent(&mix, machine)
-            .run_all(PolicyKind::ALL)
-            .expect("simulation succeeds");
+    for (t, report) in (1..=6usize).zip(&reports) {
         for (si, &kind) in PolicyKind::ALL.iter().enumerate() {
             let o = report.outcome(kind).expect("ran");
             series[si].1.push(o.result.seconds);

@@ -5,24 +5,81 @@
 //! fixed concurrent mix, reporting all four schedulers at every point.
 //!
 //! ```text
-//! cargo run --release -p lams-bench --bin sweep -- [--scale tiny|small|paper] [--tasks 4]
+//! cargo run --release -p lams-bench --bin sweep -- \
+//!     [--scale tiny|small|paper|large|huge] [--tasks 4] [--threads N]
 //! ```
+//!
+//! The 17 sweep points × four policies are declared as one
+//! [`ScenarioMatrix`] (68 jobs) and executed on a [`SweepRunner`];
+//! `--threads N` fans the jobs across N workers with bit-identical
+//! output.
 
-use lams_bench::{csv_table, parse_scale, parse_usize_flag};
-use lams_core::{Experiment, PolicyKind};
+use lams_bench::{csv_table, parse_scale, parse_threads, parse_usize_flag};
+use lams_core::{Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
 use lams_mpsoc::{CacheConfig, MachineConfig};
 use lams_workloads::suite;
 
-fn run_point(machine: MachineConfig, mix: &[lams_workloads::AppSpec], quantum: u64) -> Vec<String> {
-    let report = Experiment::concurrent(mix, machine)
-        .with_quantum(quantum)
-        .run_all(PolicyKind::ALL)
-        .expect("simulation succeeds");
-    PolicyKind::ALL
-        .iter()
-        .map(|&k| {
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+    let tasks = parse_usize_flag(&args, "--tasks", 4).clamp(1, 6);
+    let runner = SweepRunner::new(parse_threads(&args));
+    let mix = suite::mix(tasks, scale);
+    let base = MachineConfig::paper_default();
+
+    println!(
+        "Sensitivity sweep — |T|={tasks}, scale {scale} (baseline {base}), {} thread(s)",
+        runner.threads()
+    );
+
+    // The sweep grid, declared as data: (group label, machine, quantum).
+    let mut points: Vec<(String, MachineConfig, u64)> = Vec::new();
+    for kb in [4u64, 8, 16, 32] {
+        let cache = CacheConfig::new(kb * 1024, 2, 32).expect("valid cache");
+        points.push((
+            format!("# cache size {kb} KB"),
+            base.with_cache(cache),
+            10_000,
+        ));
+    }
+    // Direct-mapped is the conflict-dominated regime where the LSM data
+    // mapping matters most.
+    for assoc in [1u64, 2, 4, 8] {
+        let cache = CacheConfig::new(8 * 1024, assoc, 32).expect("valid cache");
+        points.push((
+            format!("# associativity {assoc}"),
+            base.with_cache(cache),
+            10_000,
+        ));
+    }
+    for cores in [2usize, 4, 8, 16] {
+        points.push((format!("# cores {cores}"), base.with_cores(cores), 10_000));
+    }
+    for quantum in [1_000u64, 5_000, 10_000, 50_000, 200_000] {
+        points.push((format!("# quantum {quantum}"), base, quantum));
+    }
+
+    let mut matrix = ScenarioMatrix::new();
+    for (label, machine, quantum) in &points {
+        let exp = Experiment::concurrent(&mix, *machine).with_quantum(*quantum);
+        matrix.push_all(label, &exp, PolicyKind::ALL);
+    }
+    let reports = matrix.run(&runner).expect("simulation succeeds");
+    // One report per sweep point: a duplicated point label would merge
+    // reports and shift every subsequent row's metadata silently.
+    assert_eq!(
+        reports.len(),
+        points.len(),
+        "sweep point labels must be unique"
+    );
+
+    let header = "cache_kb,assoc,cores,quantum,policy,cycles,misses,seconds,conflict_misses,capacity_misses,remapped";
+    let mut rows = Vec::new();
+    for ((label, machine, quantum), report) in points.iter().zip(&reports) {
+        rows.push(label.clone());
+        for &k in PolicyKind::ALL {
             let o = report.outcome(k).expect("ran");
-            format!(
+            rows.push(format!(
                 "{},{},{},{},{},{},{},{:.6},{},{},{}",
                 machine.cache.size_bytes / 1024,
                 machine.cache.associativity,
@@ -35,44 +92,8 @@ fn run_point(machine: MachineConfig, mix: &[lams_workloads::AppSpec], quantum: u
                 o.result.machine.cache.conflict_misses,
                 o.result.machine.cache.capacity_misses,
                 o.remapped_arrays,
-            )
-        })
-        .collect()
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = parse_scale(&args);
-    let tasks = parse_usize_flag(&args, "--tasks", 4).clamp(1, 6);
-    let mix = suite::mix(tasks, scale);
-    let base = MachineConfig::paper_default();
-
-    println!("Sensitivity sweep — |T|={tasks}, scale {scale} (baseline {base})");
-    let header = "cache_kb,assoc,cores,quantum,policy,cycles,misses,seconds,conflict_misses,capacity_misses,remapped";
-    let mut rows = Vec::new();
-
-    // Cache size sweep (paper associativity).
-    for kb in [4u64, 8, 16, 32] {
-        let cache = CacheConfig::new(kb * 1024, 2, 32).expect("valid cache");
-        rows.push(format!("# cache size {kb} KB"));
-        rows.extend(run_point(base.with_cache(cache), &mix, 10_000));
-    }
-    // Associativity sweep (paper size). Direct-mapped is the
-    // conflict-dominated regime where the LSM data mapping matters most.
-    for assoc in [1u64, 2, 4, 8] {
-        let cache = CacheConfig::new(8 * 1024, assoc, 32).expect("valid cache");
-        rows.push(format!("# associativity {assoc}"));
-        rows.extend(run_point(base.with_cache(cache), &mix, 10_000));
-    }
-    // Core count sweep.
-    for cores in [2usize, 4, 8, 16] {
-        rows.push(format!("# cores {cores}"));
-        rows.extend(run_point(base.with_cores(cores), &mix, 10_000));
-    }
-    // RRS quantum sweep.
-    for quantum in [1_000u64, 5_000, 10_000, 50_000, 200_000] {
-        rows.push(format!("# quantum {quantum}"));
-        rows.extend(run_point(base, &mix, quantum));
+            ));
+        }
     }
 
     println!("{}", csv_table(header, &rows));

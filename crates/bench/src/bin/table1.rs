@@ -2,26 +2,34 @@
 //! structural properties this reproduction gives each member.
 //!
 //! ```text
-//! cargo run --release -p lams-bench --bin table1 -- [--scale tiny|small|paper]
+//! cargo run --release -p lams-bench --bin table1 -- \
+//!     [--scale tiny|small|paper|large|huge] [--threads N]
 //! ```
+//!
+//! Each application's row (workload build + sharing analysis) is an
+//! independent job fanned through a [`SweepRunner`]; rows print in
+//! Table 1 order for any `--threads N`.
 
-use lams_bench::parse_scale;
-use lams_core::SharingMatrix;
+use lams_bench::{parse_scale, parse_threads};
+use lams_core::{SharingMatrix, SweepRunner};
 use lams_workloads::{suite, Workload};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = parse_scale(&args);
+    let runner = SweepRunner::new(parse_threads(&args));
 
     println!("Table 1 reproduction — applications used in this study (scale {scale})");
     println!(
         "{:<10} {:<42} {:>6} {:>7} {:>6} {:>7} {:>9}",
         "app", "description", "procs", "arrays", "edges", "levels", "sharing%"
     );
-    for app in suite::all(scale) {
+    let apps = suite::all(scale);
+    let rows = runner.run(apps.len(), |i| {
+        let app = &apps[i];
         let name = app.name.clone();
         let desc = app.description.clone();
-        let w = Workload::single(app).expect("valid suite app");
+        let w = Workload::single(app.clone()).expect("valid suite app");
         let m = SharingMatrix::from_workload(&w);
         let n = w.num_processes();
         let mut sharing_pairs = 0usize;
@@ -33,7 +41,7 @@ fn main() {
             }
         }
         let total_pairs = n * (n - 1) / 2;
-        println!(
+        format!(
             "{:<10} {:<42} {:>6} {:>7} {:>6} {:>7} {:>8.1}%",
             name,
             desc,
@@ -42,7 +50,10 @@ fn main() {
             w.epg().num_edges(),
             w.epg().levels().len(),
             100.0 * sharing_pairs as f64 / total_pairs as f64,
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!();
     println!("Paper: process counts vary between 9 and 37 across the suite.");

@@ -2,13 +2,19 @@
 //! parameters, as realized by this reproduction's machine model.
 //!
 //! ```text
-//! cargo run --release -p lams-bench --bin table2
+//! cargo run --release -p lams-bench --bin table2 [--threads N]
 //! ```
+//!
+//! Accepts `--threads` for interface uniformity with the other harness
+//! binaries, but runs no simulations — there is nothing to fan out.
 
+use lams_bench::parse_threads;
 use lams_core::Policy as _;
 use lams_mpsoc::{EnergyModel, MachineConfig};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _ = parse_threads(&args);
     let m = MachineConfig::paper_default();
     let e = EnergyModel::embedded_default();
 

@@ -4,6 +4,11 @@
 //! `fig2a`, `fig6`, `fig7`, `sweep`, `ablation`) and criterion benches —
 //! each regenerates one table or figure of *Kandemir & Chen, DATE 2005*.
 //! See EXPERIMENTS.md at the workspace root for the index.
+//!
+//! Every simulation-running binary declares its experiment grid as a
+//! [`lams_core::ScenarioMatrix`] and takes a `--threads N` flag that
+//! fans the jobs across a [`lams_core::SweepRunner`]; results are
+//! bit-identical for any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -11,5 +16,5 @@
 pub mod args;
 pub mod render;
 
-pub use args::{parse_scale, parse_usize_flag};
+pub use args::{parse_scale, parse_scale_or, parse_threads, parse_usize_flag, scale_from_str};
 pub use render::{bar_chart, csv_table};

@@ -6,11 +6,11 @@ use lams_mpsoc::MachineConfig;
 use lams_presburger::IndexSet;
 use lams_workloads::{AppSpec, Workload};
 
-use crate::report::{ComparisonReport, RunOutcome};
+use crate::report::ComparisonReport;
 use crate::round_robin::DEFAULT_QUANTUM;
 use crate::{
     execute, EngineConfig, LocalityPolicy, PolicyKind, RandomPolicy, Result, RoundRobinPolicy,
-    RunResult, SharingMatrix,
+    RunResult, ScenarioMatrix, SharingMatrix, SweepRunner,
 };
 
 /// What the LSM data-mapping phase decided (kept for inspection).
@@ -41,6 +41,7 @@ pub struct Experiment {
     quantum: u64,
     seed: u64,
     relayout_threshold: Option<f64>,
+    runner: SweepRunner,
 }
 
 impl Experiment {
@@ -74,6 +75,7 @@ impl Experiment {
             quantum: DEFAULT_QUANTUM,
             seed: 0,
             relayout_threshold: None,
+            runner: SweepRunner::sequential(),
         }
     }
 
@@ -96,9 +98,24 @@ impl Experiment {
         self
     }
 
+    /// Overrides the sweep runner used for internal fan-out (the LSM
+    /// candidate ladder, [`Experiment::run_all`]). Defaults to
+    /// [`SweepRunner::sequential`]; any runner yields bit-identical
+    /// results (see [`crate::sweep`]), a parallel one just gets them
+    /// sooner.
+    pub fn with_runner(mut self, runner: SweepRunner) -> Self {
+        self.runner = runner;
+        self
+    }
+
     /// The workload under experiment.
     pub fn workload(&self) -> &Workload {
         &self.workload
+    }
+
+    /// The machine configuration under experiment.
+    pub fn machine(&self) -> MachineConfig {
+        self.machine
     }
 
     /// Runs one scheduling strategy and returns the engine result.
@@ -141,6 +158,17 @@ impl Experiment {
     ///
     /// Propagates engine and layout errors.
     pub fn run_lsm(&self) -> Result<(RunResult, LsmArtifacts)> {
+        self.run_lsm_with(self.runner)
+    }
+
+    /// [`Experiment::run_lsm`] with an explicit runner for the candidate
+    /// ladder — lets [`crate::sweep`] force the inner fan-out sequential
+    /// when the enclosing matrix already occupies the cores.
+    pub(crate) fn run_lsm_with(&self, runner: SweepRunner) -> Result<(RunResult, LsmArtifacts)> {
+        // Read the debug switch once: sweeps amplify this path, and a
+        // per-candidate `env::var_os` is a syscall in a hot loop.
+        let debug = std::env::var_os("LAMS_LSM_DEBUG").is_some();
+
         // Phase 1: LS schedule on the plain layout.
         let linear = Layout::linear(self.workload.arrays());
         let pilot = self.run_with_layout(PolicyKind::Locality, &linear)?;
@@ -166,15 +194,32 @@ impl Experiment {
             eligible[id.as_usize()] = max_fp <= half_capacity;
         }
 
+        // Per-process remap-eligible arrays, computed once. The previous
+        // closure recomputed this filter at every adjacency insertion and
+        // every conflict pair — O(pairs) redundant allocations that sweep
+        // workloads amplify.
+        let eligible_of: std::collections::BTreeMap<
+            lams_procgraph::ProcessId,
+            Vec<lams_layout::ArrayId>,
+        > = self
+            .workload
+            .process_ids()
+            .map(|p| {
+                let arrays: Vec<lams_layout::ArrayId> = self
+                    .workload
+                    .arrays_of(p)
+                    .into_iter()
+                    .filter(|a| eligible[a.as_usize()])
+                    .collect();
+                (p, arrays)
+            })
+            .collect();
+        let elig = |p: lams_procgraph::ProcessId| -> &[lams_layout::ArrayId] { &eligible_of[&p] };
+
         // Adjacency: arrays of the same process, and arrays of processes
         // scheduled successively on the same core (Figure 5's condition),
         // restricted to remap-eligible arrays.
-        let eligible_arrays = |w: &Workload, p| -> Vec<lams_layout::ArrayId> {
-            w.arrays_of(p)
-                .into_iter()
-                .filter(|a| eligible[a.as_usize()])
-                .collect()
-        };
+        //
         // Two adjacency candidates: same-process pairs only (the purely
         // compile-time relation), and additionally the pilot schedule's
         // "successively on the same core" pairs (the paper's full
@@ -182,15 +227,12 @@ impl Experiment {
         // drown the high-value intra-process fixes, so both are tried.
         let mut adjacency_same = AdjacentArrays::new();
         for p in self.workload.process_ids() {
-            adjacency_same.insert_within(&eligible_arrays(&self.workload, p));
+            adjacency_same.insert_within(elig(p));
         }
         let mut adjacency = adjacency_same.clone();
         for seq in &pilot.core_sequences {
             for pair in seq.windows(2) {
-                adjacency.insert_across(
-                    &eligible_arrays(&self.workload, pair[0]),
-                    &eligible_arrays(&self.workload, pair[1]),
-                );
+                adjacency.insert_across(elig(pair[0]), elig(pair[1]));
             }
         }
 
@@ -201,54 +243,47 @@ impl Experiment {
         // For each adjacent pair (p, q) and each array pair (x of p,
         // y of q), add the number of colliding cache-set line pairs.
         let cache = self.machine.cache;
-        // Cache per-(process, array) set histograms lazily.
-        let mut hist_cache: std::collections::BTreeMap<
+        // Per-(process, array) set histograms, computed once up front.
+        // `pair_conflicts(p, p)` below visits every process, so exactly
+        // the (p, eligible array of p) pairs are needed — no laziness
+        // required, and borrowing from the map avoids the per-pair
+        // `Vec<u64>` clones the old memo closure paid.
+        let empty = IndexSet::new();
+        let mut hists: std::collections::BTreeMap<
             (lams_procgraph::ProcessId, lams_layout::ArrayId),
             Vec<u64>,
         > = std::collections::BTreeMap::new();
-        let mut hist_of = |p: lams_procgraph::ProcessId,
-                           a: lams_layout::ArrayId,
-                           workload: &Workload|
-         -> crate::Result<Vec<u64>> {
-            if let Some(h) = hist_cache.get(&(p, a)) {
-                return Ok(h.clone());
+        for p in self.workload.process_ids() {
+            for &a in elig(p) {
+                let elems = self.workload.data_set(p).get(&a).unwrap_or(&empty);
+                hists.insert((p, a), linear.set_histogram(a, elems, &cache)?);
             }
-            let elems = workload
-                .data_set(p)
-                .get(&a)
-                .cloned()
-                .unwrap_or_else(IndexSet::new);
-            let h = linear.set_histogram(a, &elems, &cache)?;
-            hist_cache.insert((p, a), h.clone());
-            Ok(h)
-        };
+        }
         let mut conflicts = ConflictMatrix::new(self.workload.arrays().len());
-        let mut pair_conflicts = |p: lams_procgraph::ProcessId,
-                                  q: lams_procgraph::ProcessId,
-                                  conflicts: &mut ConflictMatrix|
-         -> crate::Result<()> {
+        let pair_conflicts = |p: lams_procgraph::ProcessId,
+                              q: lams_procgraph::ProcessId,
+                              conflicts: &mut ConflictMatrix| {
             // Restricted to remap-eligible arrays, consistently with the
             // adjacency relation: entries for arrays the pass may never
             // move would only distort the mean threshold.
-            for x in eligible_arrays(&self.workload, p) {
-                for y in eligible_arrays(&self.workload, q) {
+            for &x in elig(p) {
+                for &y in elig(q) {
                     if x == y {
                         continue;
                     }
-                    let hx = hist_of(p, x, &self.workload)?;
-                    let hy = hist_of(q, y, &self.workload)?;
-                    let v: u64 = hx.iter().zip(&hy).map(|(&a, &b)| a * b).sum();
+                    let hx = &hists[&(p, x)];
+                    let hy = &hists[&(q, y)];
+                    let v: u64 = hx.iter().zip(hy).map(|(&a, &b)| a * b).sum();
                     conflicts.add(x, y, v);
                 }
             }
-            Ok(())
         };
         for p in self.workload.process_ids() {
-            pair_conflicts(p, p, &mut conflicts)?;
+            pair_conflicts(p, p, &mut conflicts);
         }
         for seq in &pilot.core_sequences {
             for pair in seq.windows(2) {
-                pair_conflicts(pair[0], pair[1], &mut conflicts)?;
+                pair_conflicts(pair[0], pair[1], &mut conflicts);
             }
         }
 
@@ -279,19 +314,24 @@ impl Experiment {
         for task in self.workload.tasks() {
             let mut adj = AdjacentArrays::new();
             for p in task.processes() {
-                adj.insert_within(&eligible_arrays(&self.workload, p));
+                adj.insert_within(elig(p));
             }
             if !adj.is_empty() {
                 per_app.push(adj);
             }
         }
 
-        let mut best: Option<(RunResult, RemapAssignment)> = None;
+        // Enumerate the deduplicated candidate layouts first (cheap,
+        // sequential), then fan the expensive simulations through the
+        // sweep runner. Selection scans results in enumeration order
+        // with a strict `<`, so the chosen mapping is identical to the
+        // old serial double loop for any thread count.
         let mut seen = std::collections::BTreeSet::new();
         let adjacency_candidates: Vec<&AdjacentArrays> = [&adjacency, &adjacency_same]
             .into_iter()
             .chain(per_app.iter())
             .collect();
+        let mut cands: Vec<(f64, RemapAssignment, Layout)> = Vec::new();
         for adj in adjacency_candidates {
             for &t in &candidates {
                 let assignment = relayout_pass(&conflicts, adj, Some(t));
@@ -307,21 +347,28 @@ impl Experiment {
                     continue;
                 }
                 let remapped = Layout::remapped(self.workload.arrays(), &cache, &assignment);
-                let result = self.run_with_layout(PolicyKind::LocalityMap, &remapped)?;
-                if std::env::var_os("LAMS_LSM_DEBUG").is_some() {
-                    eprintln!(
-                        "lsm candidate: t={t:.1} remapped={} makespan={} (pilot {})",
-                        assignment.len(),
-                        result.makespan_cycles,
-                        pilot.makespan_cycles
-                    );
-                }
-                if best
-                    .as_ref()
-                    .is_none_or(|(b, _)| result.makespan_cycles < b.makespan_cycles)
-                {
-                    best = Some((result, assignment));
-                }
+                cands.push((t, assignment, remapped));
+            }
+        }
+        let results = runner.run(cands.len(), |i| {
+            self.run_with_layout(PolicyKind::LocalityMap, &cands[i].2)
+        });
+        let mut best: Option<(RunResult, RemapAssignment)> = None;
+        for ((t, assignment, _), result) in cands.into_iter().zip(results) {
+            let result = result?;
+            if debug {
+                eprintln!(
+                    "lsm candidate: t={t:.1} remapped={} makespan={} (pilot {})",
+                    assignment.len(),
+                    result.makespan_cycles,
+                    pilot.makespan_cycles
+                );
+            }
+            if best
+                .as_ref()
+                .is_none_or(|(b, _)| result.makespan_cycles < b.makespan_cycles)
+            {
+                best = Some((result, assignment));
             }
         }
         let (result, assignment) = match best {
@@ -340,30 +387,28 @@ impl Experiment {
 
     /// Runs several strategies and collects a comparison report.
     ///
+    /// Delegates to a one-group [`ScenarioMatrix`] executed on this
+    /// experiment's [`SweepRunner`] (sequential unless overridden with
+    /// [`Experiment::with_runner`]); either way the report is
+    /// bit-identical to running the policies one after another.
+    ///
     /// # Errors
     ///
     /// Propagates engine errors.
     pub fn run_all(&self, kinds: &[PolicyKind]) -> Result<ComparisonReport> {
-        let mut outcomes = Vec::with_capacity(kinds.len());
-        for &k in kinds {
-            let (result, remapped) = match k {
-                PolicyKind::LocalityMap => {
-                    let (r, art) = self.run_lsm()?;
-                    (r, art.assignment.len())
-                }
-                _ => (self.run(k)?, 0),
-            };
-            outcomes.push(RunOutcome {
-                kind: k,
-                result,
-                remapped_arrays: remapped,
-            });
+        if kinds.is_empty() {
+            return Ok(ComparisonReport::new(
+                self.workload.name().to_owned(),
+                self.machine,
+                Vec::new(),
+            ));
         }
-        Ok(ComparisonReport::new(
-            self.workload.name().to_owned(),
-            self.machine,
-            outcomes,
-        ))
+        let mut matrix = ScenarioMatrix::new();
+        matrix.push_all(self.workload.name(), self, kinds);
+        let mut reports = matrix.run(&self.runner)?;
+        Ok(reports
+            .pop()
+            .expect("single-group matrix yields one report"))
     }
 }
 

@@ -28,7 +28,11 @@
 //!   dependences and preemption, with per-core cache persistence,
 //! * [`Experiment`] / [`ComparisonReport`] — the paper's experimental
 //!   harness: isolated applications (Figure 6) and concurrent mixes
-//!   (Figure 7) under all four policies.
+//!   (Figure 7) under all four policies,
+//! * [`sweep`] — the scenario-matrix subsystem: [`ScenarioMatrix`]
+//!   enumerates independent (workload × machine × policy × knob) jobs
+//!   and [`SweepRunner`] executes them across scoped threads with
+//!   results bit-identical to sequential execution.
 //!
 //! ```
 //! use lams_core::{Experiment, PolicyKind};
@@ -57,6 +61,7 @@ mod random;
 mod report;
 mod round_robin;
 mod sharing;
+pub mod sweep;
 mod task_affinity;
 
 pub use critical_path::CriticalPathPolicy;
@@ -69,4 +74,5 @@ pub use random::RandomPolicy;
 pub use report::{ComparisonReport, RunOutcome};
 pub use round_robin::RoundRobinPolicy;
 pub use sharing::SharingMatrix;
+pub use sweep::{ScenarioMatrix, SweepJob, SweepRunner};
 pub use task_affinity::TaskAffinityPolicy;

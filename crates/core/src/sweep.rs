@@ -1,0 +1,360 @@
+//! Parallel scenario sweeps: one explicit model for the experiment
+//! matrices behind Figures 6/7, the sensitivity sweep, the ablations and
+//! the LSM threshold ladder.
+//!
+//! The paper's harness (and every figure/table binary) is a pile of
+//! nested loops, each running one policy on one workload at a time. This
+//! module turns those implicit loops into data:
+//!
+//! * [`ScenarioMatrix`] — enumerates independent [`SweepJob`]s (workload
+//!   × machine × policy × quantum/seed/threshold knob), grouped so the
+//!   results reassemble into the familiar [`ComparisonReport`]s;
+//! * [`SweepRunner`] — executes any indexed job list across
+//!   `std::thread::scope` workers pulling from a shared
+//!   `Mutex<VecDeque>` queue (the build image has no rayon; scoped
+//!   threads need no `'static` bounds and no dependencies);
+//! * a deterministic collection step that reassembles results **in
+//!   enumeration order**, regardless of which worker finished first.
+//!
+//! # Determinism contract
+//!
+//! Every job is a pure function of its [`SweepJob`] description: the
+//! engine is single-threaded per job, policies are constructed fresh
+//! inside the job, and nothing is shared between jobs but immutable
+//! borrows. Results are written into a slot vector indexed by
+//! enumeration position and reduced in that order, so for any thread
+//! count — 1, 2 or 64 — [`ScenarioMatrix::run`] returns
+//! **bit-identical** [`ComparisonReport`]s, and
+//! [`Experiment::run_lsm`](crate::Experiment::run_lsm) (whose candidate
+//! ladder fans through the same runner) returns bit-identical artifacts.
+//! Differential tests in `crates/core/tests/sweep.rs` hold this contract
+//! against the sequential path; the golden makespans in
+//! `tests/cross_validation.rs` pin it across PRs.
+//!
+//! Errors are reported deterministically too: when several jobs fail,
+//! the error of the *earliest enumerated* failing job is returned.
+//!
+//! ```
+//! use lams_core::{PolicyKind, ScenarioMatrix, SweepRunner, Experiment};
+//! use lams_mpsoc::MachineConfig;
+//! use lams_workloads::{suite, Scale};
+//!
+//! let mut matrix = ScenarioMatrix::new();
+//! for app in suite::all(Scale::Tiny) {
+//!     let exp = Experiment::isolated(&app, MachineConfig::paper_default());
+//!     matrix.push_all(&app.name, &exp, &[PolicyKind::Random, PolicyKind::Locality]);
+//! }
+//! let reports = matrix.run(&SweepRunner::new(2)).unwrap();
+//! assert_eq!(reports.len(), 6); // one ComparisonReport per group
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use lams_mpsoc::MachineConfig;
+
+use crate::report::RunOutcome;
+use crate::{ComparisonReport, Experiment, PolicyKind, Result, RunResult};
+
+/// Executes indexed jobs across a fixed-size scoped thread pool.
+///
+/// The runner is a value, not a pool: it holds no threads, only the
+/// worker count, so it is `Copy` and can be embedded in experiment
+/// configuration (see [`Experiment::with_runner`]). Threads are spawned
+/// per [`SweepRunner::run`] call and joined before it returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded runner: executes jobs inline, in order.
+    pub fn sequential() -> Self {
+        SweepRunner::new(1)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0..n)` and returns the results **in index order**.
+    ///
+    /// With one thread (or at most one job) this executes inline with no
+    /// spawning — the exact sequential path. Otherwise workers pull
+    /// indices from a shared queue and write each result into its own
+    /// slot, so the output order never depends on scheduling. A panic in
+    /// any job propagates out of the scope after all workers join.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|s| {
+            for _ in 0..self.threads.min(n) {
+                s.spawn(|| loop {
+                    // Pop inside a tight scope so the queue lock is
+                    // released while the job runs.
+                    let next = queue.lock().expect("queue lock").pop_front();
+                    let Some(i) = next else { break };
+                    let out = f(i);
+                    slots.lock().expect("slot lock")[i] = Some(out);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|slot| slot.expect("every index was executed"))
+            .collect()
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::sequential()
+    }
+}
+
+/// One independent unit of sweep work: run one policy on one experiment.
+///
+/// Jobs within a group share their [`Experiment`] via `Arc`, so
+/// enumerating a large matrix does not deep-copy workloads.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    group: String,
+    experiment: Arc<Experiment>,
+    kind: PolicyKind,
+}
+
+impl SweepJob {
+    /// The report group this job belongs to.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// The experiment the job runs.
+    pub fn experiment(&self) -> &Experiment {
+        &self.experiment
+    }
+
+    /// The scheduling policy the job evaluates.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// Executes the job: `(engine result, arrays remapped by LSM)`.
+    ///
+    /// When the matrix itself runs on several workers, the LSM candidate
+    /// ladder inside a job is forced sequential: the outer fan-out
+    /// already saturates the cores, and nesting a second scoped pool per
+    /// job would oversubscribe to ~2N live threads. Results are
+    /// bit-identical either way (the ladder's selection is
+    /// order-reassembled), so this is purely a scheduling choice.
+    fn execute(&self, parallel_matrix: bool) -> Result<(RunResult, usize)> {
+        match self.kind {
+            PolicyKind::LocalityMap => {
+                let (result, art) = if parallel_matrix {
+                    self.experiment.run_lsm_with(SweepRunner::sequential())?
+                } else {
+                    self.experiment.run_lsm()?
+                };
+                Ok((result, art.assignment.len()))
+            }
+            kind => Ok((self.experiment.run(kind)?, 0)),
+        }
+    }
+}
+
+/// An explicit enumeration of sweep jobs, grouped into comparison
+/// reports.
+///
+/// Jobs run in enumeration (push) order under [`SweepRunner::new(1)`]
+/// and reassemble in that order for any thread count. Groups are keyed
+/// by label: jobs pushed under the same label land in the same
+/// [`ComparisonReport`], and reports come back in first-appearance
+/// order of their labels.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioMatrix {
+    jobs: Vec<SweepJob>,
+}
+
+impl ScenarioMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        ScenarioMatrix::default()
+    }
+
+    /// Enumerates one job: `kind` on `experiment`, reported under
+    /// `group`.
+    pub fn push(&mut self, group: impl Into<String>, experiment: Experiment, kind: PolicyKind) {
+        self.jobs.push(SweepJob {
+            group: group.into(),
+            experiment: Arc::new(experiment),
+            kind,
+        });
+    }
+
+    /// Enumerates one job per `kind`, all sharing `experiment` (one bar
+    /// group of Figure 6, or one `|T|` cluster of Figure 7).
+    pub fn push_all(
+        &mut self,
+        group: impl Into<String>,
+        experiment: &Experiment,
+        kinds: &[PolicyKind],
+    ) {
+        let group = group.into();
+        let experiment = Arc::new(experiment.clone());
+        for &kind in kinds {
+            self.jobs.push(SweepJob {
+                group: group.clone(),
+                experiment: Arc::clone(&experiment),
+                kind,
+            });
+        }
+    }
+
+    /// The enumerated jobs, in enumeration order.
+    pub fn jobs(&self) -> &[SweepJob] {
+        &self.jobs
+    }
+
+    /// Number of enumerated jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no jobs have been enumerated.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The distinct group labels, in first-appearance order — the order
+    /// [`ScenarioMatrix::run`] returns reports in.
+    pub fn groups(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for job in &self.jobs {
+            if !seen.contains(&job.group.as_str()) {
+                seen.push(&job.group);
+            }
+        }
+        seen
+    }
+
+    /// Executes every job on `runner` and reassembles one
+    /// [`ComparisonReport`] per group, in first-appearance order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest enumerated failing job.
+    pub fn run(&self, runner: &SweepRunner) -> Result<Vec<ComparisonReport>> {
+        let parallel = runner.threads() > 1 && self.jobs.len() > 1;
+        let results = runner.run(self.jobs.len(), |i| self.jobs[i].execute(parallel));
+
+        let mut order: Vec<&str> = Vec::new();
+        let mut grouped: Vec<(MachineConfig, Vec<RunOutcome>)> = Vec::new();
+        for (job, result) in self.jobs.iter().zip(results) {
+            let (result, remapped_arrays) = result?;
+            let at = match order.iter().position(|&g| g == job.group) {
+                Some(at) => at,
+                None => {
+                    order.push(&job.group);
+                    grouped.push((job.experiment.machine(), Vec::new()));
+                    order.len() - 1
+                }
+            };
+            grouped[at].1.push(RunOutcome {
+                kind: job.kind,
+                result,
+                remapped_arrays,
+            });
+        }
+        Ok(order
+            .into_iter()
+            .zip(grouped)
+            .map(|(group, (machine, outcomes))| {
+                ComparisonReport::new(group.to_owned(), machine, outcomes)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lams_mpsoc::MachineConfig;
+    use lams_workloads::{suite, Scale};
+
+    #[test]
+    fn runner_preserves_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = SweepRunner::new(threads).run(17, |i| i * i);
+            assert_eq!(
+                out,
+                (0..17).map(|i| i * i).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn runner_clamps_to_one_thread() {
+        assert_eq!(SweepRunner::new(0).threads(), 1);
+        assert_eq!(SweepRunner::default(), SweepRunner::sequential());
+    }
+
+    #[test]
+    fn runner_handles_empty_and_single() {
+        assert!(SweepRunner::new(4).run(0, |_| 0u8).is_empty());
+        assert_eq!(SweepRunner::new(4).run(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn matrix_groups_in_first_appearance_order() {
+        let app = suite::shape(Scale::Tiny);
+        let exp = Experiment::isolated(&app, MachineConfig::paper_default());
+        let mut m = ScenarioMatrix::new();
+        m.push("b", exp.clone(), PolicyKind::Random);
+        m.push("a", exp.clone(), PolicyKind::Random);
+        m.push("b", exp, PolicyKind::Locality);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.groups(), vec!["b", "a"]);
+        let reports = m.run(&SweepRunner::sequential()).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].workload(), "b");
+        assert_eq!(reports[0].outcomes().len(), 2);
+        assert_eq!(reports[1].workload(), "a");
+        assert_eq!(reports[1].outcomes().len(), 1);
+    }
+
+    #[test]
+    fn matrix_reports_match_run_all_across_threads() {
+        let app = suite::track(Scale::Tiny);
+        let exp = Experiment::isolated(&app, MachineConfig::paper_default().with_cores(4));
+        let direct = exp.run_all(PolicyKind::ALL).unwrap();
+        for threads in [1, 2, 8] {
+            let mut m = ScenarioMatrix::new();
+            m.push_all("Track", &exp, PolicyKind::ALL);
+            let reports = m.run(&SweepRunner::new(threads)).unwrap();
+            assert_eq!(reports.len(), 1);
+            assert_eq!(
+                format!("{:?}", reports[0]),
+                format!("{direct:?}"),
+                "report drifted at {threads} threads"
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Differential tests for the sweep subsystem's determinism contract:
+//! [`SweepRunner`] at 1, 2 and 8 threads must yield **byte-identical**
+//! [`ComparisonReport`]s (including LSM artifacts) to the plain
+//! sequential path — one policy run after another, the shape of the
+//! pre-sweep `Experiment::run_all` loop — plus property tests that job
+//! enumeration order is stable and runner output order never depends on
+//! the thread count.
+
+use proptest::prelude::*;
+
+use lams_core::{Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
+use lams_mpsoc::MachineConfig;
+use lams_workloads::{suite, Scale};
+
+fn machine4() -> MachineConfig {
+    MachineConfig::paper_default().with_cores(4)
+}
+
+/// A concurrent two-app mix: small enough for an 8-thread test, rich
+/// enough that LSM finds adjacencies, conflicts and remap candidates.
+fn mix_experiment() -> Experiment {
+    let apps = vec![suite::shape(Scale::Tiny), suite::track(Scale::Tiny)];
+    Experiment::concurrent(&apps, machine4()).with_seed(12345)
+}
+
+#[test]
+fn parallel_run_all_is_byte_identical_to_sequential_path() {
+    let exp = mix_experiment();
+
+    // The pre-refactor sequential path: each policy run one after
+    // another on one thread, outcomes collected in order.
+    let mut expected: Vec<(PolicyKind, String, usize)> = Vec::new();
+    for &kind in PolicyKind::ALL {
+        let (result, remapped) = match kind {
+            PolicyKind::LocalityMap => {
+                let (r, art) = exp.run_lsm().expect("lsm runs");
+                (r, art.assignment.len())
+            }
+            _ => (exp.run(kind).expect("policy runs"), 0),
+        };
+        expected.push((kind, format!("{result:?}"), remapped));
+    }
+
+    for threads in [1usize, 2, 8] {
+        let report = exp
+            .clone()
+            .with_runner(SweepRunner::new(threads))
+            .run_all(PolicyKind::ALL)
+            .expect("sweep runs");
+        assert_eq!(report.outcomes().len(), expected.len());
+        for (outcome, (kind, result_repr, remapped)) in report.outcomes().iter().zip(&expected) {
+            assert_eq!(outcome.kind, *kind, "{threads} threads");
+            assert_eq!(
+                format!("{:?}", outcome.result),
+                *result_repr,
+                "result drifted for {kind} at {threads} threads"
+            );
+            assert_eq!(
+                outcome.remapped_arrays, *remapped,
+                "remap count drifted for {kind} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn lsm_artifacts_are_byte_identical_across_thread_counts() {
+    let exp = mix_experiment();
+    let (seq_result, seq_art) = exp
+        .clone()
+        .with_runner(SweepRunner::sequential())
+        .run_lsm()
+        .expect("lsm runs");
+    let seq_repr = (format!("{seq_result:?}"), format!("{seq_art:?}"));
+    for threads in [2usize, 8] {
+        let (result, art) = exp
+            .clone()
+            .with_runner(SweepRunner::new(threads))
+            .run_lsm()
+            .expect("lsm runs");
+        assert_eq!(
+            (format!("{result:?}"), format!("{art:?}")),
+            seq_repr,
+            "LSM drifted at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn multi_group_matrix_is_byte_identical_across_thread_counts() {
+    // A fig6-style matrix: every suite app × every policy, including
+    // the LSM ladder inside each group.
+    let build = || {
+        let mut m = ScenarioMatrix::new();
+        for app in suite::all(Scale::Tiny) {
+            let exp = Experiment::isolated(&app, machine4()).with_seed(7);
+            m.push_all(&app.name, &exp, PolicyKind::ALL);
+        }
+        m
+    };
+    let reference: Vec<String> = build()
+        .run(&SweepRunner::sequential())
+        .expect("sweep runs")
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    for threads in [2usize, 8] {
+        let reports: Vec<String> = build()
+            .run(&SweepRunner::new(threads))
+            .expect("sweep runs")
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        assert_eq!(reports, reference, "matrix drifted at {threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn runner_output_order_never_depends_on_threads(n in 0usize..48, threads in 1usize..9) {
+        let out = SweepRunner::new(threads).run(n, |i| i * 3 + 1);
+        prop_assert_eq!(out, (0..n).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn job_enumeration_order_is_stable(group_ids in prop::collection::vec(0u8..5, 0usize..24)) {
+        // Build the same matrix twice from one spec: the enumerated job
+        // list must be identical, preserve push order exactly, and the
+        // group order must be first-appearance order.
+        let app = suite::shape(Scale::Tiny);
+        let exp = Experiment::isolated(&app, machine4());
+        let build = || {
+            let mut m = ScenarioMatrix::new();
+            for &g in &group_ids {
+                let kind = if g % 2 == 0 { PolicyKind::Random } else { PolicyKind::Locality };
+                m.push(format!("g{g}"), exp.clone(), kind);
+            }
+            m
+        };
+        let (a, b) = (build(), build());
+        prop_assert_eq!(a.len(), group_ids.len());
+        let describe = |m: &ScenarioMatrix| -> Vec<(String, PolicyKind)> {
+            m.jobs().iter().map(|j| (j.group().to_owned(), j.kind())).collect()
+        };
+        prop_assert_eq!(describe(&a), describe(&b));
+        for (job, &g) in a.jobs().iter().zip(&group_ids) {
+            prop_assert_eq!(job.group(), format!("g{g}"));
+        }
+        let mut first_appearance: Vec<String> = Vec::new();
+        for &g in &group_ids {
+            let label = format!("g{g}");
+            if !first_appearance.contains(&label) {
+                first_appearance.push(label);
+            }
+        }
+        let groups: Vec<String> = a.groups().iter().map(|&g| g.to_owned()).collect();
+        prop_assert_eq!(groups, first_appearance);
+    }
+}
