@@ -3,11 +3,13 @@
 //! the workspace root, so the perf trajectory is machine-readable from
 //! PR 1 onward. Since PR 2 it also times a fig6-style [`ScenarioMatrix`]
 //! at 1 and 4 sweep threads and writes `BENCH_sweep.json` (threads,
-//! wall-clock, jobs/sec), so the trajectory captures *sweep* throughput,
-//! not just per-run throughput.
+//! wall-clock, jobs/sec). Since PR 3 it additionally writes
+//! `BENCH_trace.json`: end-to-end engine throughput in scalar vs
+//! compiled-IR trace mode (the fig6-style win), trace-generation
+//! micro-benches, and `.ltr` encode/decode throughput.
 //!
 //! Usage:
-//! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json]`
+//! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json] [trace.json]`
 //!
 //! The makespan checksum must stay constant across perf PRs (bit-identical
 //! simulation results); the throughput numbers are expected to move.
@@ -16,7 +18,8 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use lams_core::{
-    execute, Experiment, LocalityPolicy, PolicyKind, ScenarioMatrix, SharingMatrix, SweepRunner,
+    execute, EngineConfig, Experiment, LocalityPolicy, PolicyKind, ScenarioMatrix, SharingMatrix,
+    SweepRunner, TraceMode,
 };
 use lams_layout::Layout;
 use lams_mpsoc::{Cache, CacheConfig, MachineConfig};
@@ -60,17 +63,18 @@ struct EngineBench {
     sim_mops_per_s: f64,
 }
 
-fn engine_bench() -> EngineBench {
+fn engine_bench_mode(mode: TraceMode) -> EngineBench {
     let w = Workload::single(suite::shape(Scale::Small)).expect("valid app");
     let layout = Layout::linear(w.arrays());
     let sharing = SharingMatrix::from_workload(&w);
     let machine = MachineConfig::paper_default();
+    let cfg = EngineConfig::from(machine).with_trace_mode(mode);
     let total_ops: u64 = w.process_ids().map(|p| w.trace_len(p)).sum();
     let mut makespan = 0;
     let ns = time_ns(
         || {
             let mut p = LocalityPolicy::new(sharing.clone(), machine.num_cores);
-            makespan = execute(&w, &layout, &mut p, machine)
+            makespan = execute(&w, &layout, &mut p, cfg)
                 .expect("engine runs")
                 .makespan_cycles;
         },
@@ -81,6 +85,95 @@ fn engine_bench() -> EngineBench {
         wall_ms: ns / 1e6,
         makespan,
         sim_mops_per_s: total_ops as f64 / ns * 1e3,
+    }
+}
+
+fn engine_bench() -> EngineBench {
+    engine_bench_mode(TraceMode::default())
+}
+
+struct TraceBench {
+    scalar_gen_mops: f64,
+    compile_mops: f64,
+    decode_mops: f64,
+    engine_scalar: EngineBench,
+    engine_ir: EngineBench,
+    ltr_bytes: u64,
+    ltr_ops: u64,
+    encode_mops: f64,
+    decode_ltr_mops: f64,
+}
+
+/// Trace-level benches: scalar generation vs IR compile/decode, the
+/// end-to-end engine in both trace modes (same makespan, different
+/// wall-clock — the fig6-style win), and `.ltr` encode/decode
+/// throughput.
+fn trace_bench() -> TraceBench {
+    let w = Workload::single(suite::shape(Scale::Small)).expect("valid app");
+    let layout = Layout::linear(w.arrays());
+    let total_ops: u64 = w.process_ids().map(|p| w.trace_len(p)).sum();
+
+    let scalar_ns = time_ns(
+        || {
+            for p in w.process_ids() {
+                black_box(w.trace(p, &layout).count());
+            }
+        },
+        3,
+        9,
+    );
+    let compile_ns = time_ns(
+        || {
+            black_box(w.compile_traces(&layout));
+        },
+        3,
+        9,
+    );
+    let programs = w.compile_traces(&layout);
+    let decode_ns = time_ns(
+        || {
+            for p in &programs {
+                black_box(p.iter().count());
+            }
+        },
+        3,
+        9,
+    );
+
+    let bundle = w.record(&layout);
+    let bytes = bundle.to_bytes();
+    let encode_ns = time_ns(
+        || {
+            black_box(bundle.to_bytes());
+        },
+        3,
+        9,
+    );
+    let decode_ltr_ns = time_ns(
+        || {
+            black_box(lams_trace::TraceBundle::from_bytes(&bytes).expect("decodes"));
+        },
+        3,
+        9,
+    );
+
+    let engine_scalar = engine_bench_mode(TraceMode::Scalar);
+    let engine_ir = engine_bench_mode(TraceMode::Ir);
+    assert_eq!(
+        engine_scalar.makespan, engine_ir.makespan,
+        "trace modes must be bit-identical"
+    );
+    let per_op = |ns: f64| total_ops as f64 / ns * 1e3;
+    TraceBench {
+        scalar_gen_mops: per_op(scalar_ns),
+        compile_mops: per_op(compile_ns),
+        decode_mops: per_op(decode_ns),
+        engine_scalar,
+        engine_ir,
+        ltr_bytes: bytes.len() as u64,
+        ltr_ops: bundle.total_ops(),
+        encode_mops: per_op(encode_ns),
+        decode_ltr_mops: per_op(decode_ltr_ns),
     }
 }
 
@@ -189,6 +282,9 @@ fn main() {
     let sweep_out = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let trace_out = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_trace.json".to_string());
 
     eprintln!("bench_summary: cache micro-benches...");
     let plain = cache_melems_per_s(false);
@@ -280,4 +376,85 @@ fn main() {
     sj.push_str("}\n");
     std::fs::write(&sweep_out, sj).expect("write sweep summary");
     eprintln!("bench_summary: wrote {sweep_out}");
+
+    eprintln!("bench_summary: trace IR benches (Shape, Small)...");
+    let tb = trace_bench();
+    let engine_speedup = tb.engine_scalar.wall_ms / tb.engine_ir.wall_ms;
+    eprintln!(
+        "  trace_gen        scalar {:.2} Mops/s, compile {:.2} Mops/s, decode {:.2} Mops/s",
+        tb.scalar_gen_mops, tb.compile_mops, tb.decode_mops
+    );
+    eprintln!(
+        "  engine ls_shape  scalar {:.3} ms vs IR {:.3} ms ({engine_speedup:.2}x, makespan {})",
+        tb.engine_scalar.wall_ms, tb.engine_ir.wall_ms, tb.engine_ir.makespan
+    );
+    eprintln!(
+        "  ltr              {} ops -> {} bytes ({:.2} bits/op), encode {:.2} Mops/s, decode {:.2} Mops/s",
+        tb.ltr_ops,
+        tb.ltr_bytes,
+        tb.ltr_bytes as f64 * 8.0 / tb.ltr_ops as f64,
+        tb.encode_mops,
+        tb.decode_ltr_mops
+    );
+
+    let mut tj = String::new();
+    tj.push_str("{\n");
+    tj.push_str("  \"schema\": 1,\n");
+    tj.push_str("  \"trace_gen\": {\n");
+    tj.push_str(&format!(
+        "    \"scalar_mops_per_s\": {:.3},\n",
+        tb.scalar_gen_mops
+    ));
+    tj.push_str(&format!(
+        "    \"ir_compile_mops_per_s\": {:.3},\n",
+        tb.compile_mops
+    ));
+    tj.push_str(&format!(
+        "    \"ir_decode_mops_per_s\": {:.3}\n",
+        tb.decode_mops
+    ));
+    tj.push_str("  },\n");
+    tj.push_str("  \"engine_ls_shape_small\": {\n");
+    tj.push_str(&format!(
+        "    \"scalar_ms\": {:.4},\n",
+        tb.engine_scalar.wall_ms
+    ));
+    tj.push_str(&format!("    \"ir_ms\": {:.4},\n", tb.engine_ir.wall_ms));
+    tj.push_str(&format!(
+        "    \"scalar_sim_mops_per_s\": {:.3},\n",
+        tb.engine_scalar.sim_mops_per_s
+    ));
+    tj.push_str(&format!(
+        "    \"ir_sim_mops_per_s\": {:.3},\n",
+        tb.engine_ir.sim_mops_per_s
+    ));
+    tj.push_str(&format!("    \"speedup\": {engine_speedup:.3},\n"));
+    tj.push_str(&format!(
+        "    \"makespan_cycles\": {},\n",
+        tb.engine_ir.makespan
+    ));
+    tj.push_str(&format!(
+        "    \"modes_bit_identical\": {}\n",
+        tb.engine_scalar.makespan == tb.engine_ir.makespan
+    ));
+    tj.push_str("  },\n");
+    tj.push_str("  \"ltr\": {\n");
+    tj.push_str(&format!("    \"ops\": {},\n", tb.ltr_ops));
+    tj.push_str(&format!("    \"bytes\": {},\n", tb.ltr_bytes));
+    tj.push_str(&format!(
+        "    \"bits_per_op\": {:.3},\n",
+        tb.ltr_bytes as f64 * 8.0 / tb.ltr_ops as f64
+    ));
+    tj.push_str(&format!(
+        "    \"encode_mops_per_s\": {:.3},\n",
+        tb.encode_mops
+    ));
+    tj.push_str(&format!(
+        "    \"decode_mops_per_s\": {:.3}\n",
+        tb.decode_ltr_mops
+    ));
+    tj.push_str("  }\n");
+    tj.push_str("}\n");
+    std::fs::write(&trace_out, tj).expect("write trace summary");
+    eprintln!("bench_summary: wrote {trace_out}");
 }

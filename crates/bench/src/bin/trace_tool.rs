@@ -1,0 +1,229 @@
+//! `trace_tool` — record, replay, inspect and summarize `.ltr` traces.
+//!
+//! Subcommands:
+//!
+//! * `record  --app NAME|--mix N [--scale S] [--out FILE]` — compile a
+//!   suite workload's traces into stride-run IR and write an `.ltr`
+//!   bundle (default `trace.ltr`).
+//! * `replay  FILE [--policy rs|rrs|ls] [--cores N] [--seed N]
+//!   [--quantum N]` — read a bundle and run it through the scheduling
+//!   engine, printing a deterministic report.
+//! * `run     --app NAME|--mix N [--scale S] [--policy ...] …` — the
+//!   same simulation driven directly from the workload (no file); its
+//!   report is byte-identical to `record` + `replay` of the same
+//!   scenario, which CI diffs.
+//! * `inspect FILE [--proc I] [--limit N]` — dump a program's decoded
+//!   ops in the `R 0x… / W 0x… / C n` text form (losslessly parseable
+//!   back via `TraceOp::from_str`).
+//! * `stats   FILE` — per-process op counts, block counts, and the
+//!   IR's compression ratio over the decoded stream.
+
+use std::process::exit;
+
+use lams_core::{
+    execute, execute_bundle, LocalityPolicy, Policy, RandomPolicy, RoundRobinPolicy, RunResult,
+    SharingMatrix,
+};
+use lams_layout::Layout;
+use lams_mpsoc::MachineConfig;
+use lams_trace::TraceBundle;
+use lams_workloads::{suite, Workload};
+
+use lams_bench::{parse_scale, parse_usize_flag};
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace_tool <record|replay|run|inspect|stats> ...\n\
+         \n\
+         record  --app NAME|--mix N [--scale S] [--out FILE]\n\
+         replay  FILE [--policy rs|rrs|ls] [--cores N] [--seed N] [--quantum N]\n\
+         run     --app NAME|--mix N [--scale S] [--policy rs|rrs|ls] [--cores N] [--seed N] [--quantum N]\n\
+         inspect FILE [--proc I] [--limit N]\n\
+         stats   FILE"
+    );
+    exit(2);
+}
+
+/// The workload named by `--app`/`--mix` at `--scale`.
+fn workload_from_args(args: &[String]) -> Workload {
+    let scale = parse_scale(args);
+    if let Some(name) = flag(args, "--app") {
+        let Some(app) = suite::by_name(name, scale) else {
+            eprintln!("error: unknown --app '{name}'");
+            exit(2);
+        };
+        return Workload::single(app).expect("suite app is valid");
+    }
+    if let Some(t) = flag(args, "--mix") {
+        let t: usize = t.parse().unwrap_or_else(|_| {
+            eprintln!("error: --mix expects a number");
+            exit(2);
+        });
+        return Workload::concurrent(suite::mix(t, scale)).expect("suite mix is valid");
+    }
+    eprintln!("error: need --app NAME or --mix N");
+    exit(2);
+}
+
+fn machine_from_args(args: &[String]) -> MachineConfig {
+    MachineConfig::paper_default().with_cores(parse_usize_flag(args, "--cores", 8).max(1))
+}
+
+/// Builds the requested policy; `sharing` supplies LS's matrix (from
+/// the workload when running directly, from the bundle when replaying —
+/// identical for recorded bundles, see `SharingMatrix::from_bundle`).
+fn policy_from_args(args: &[String], sharing: impl FnOnce() -> SharingMatrix) -> Box<dyn Policy> {
+    let cores = parse_usize_flag(args, "--cores", 8).max(1);
+    let seed = parse_usize_flag(args, "--seed", 12345) as u64;
+    let quantum = parse_usize_flag(args, "--quantum", 50_000) as u64;
+    match flag(args, "--policy").unwrap_or("ls") {
+        "rs" => Box::new(RandomPolicy::new(seed)),
+        "rrs" => Box::new(RoundRobinPolicy::new(quantum)),
+        "ls" => Box::new(LocalityPolicy::new(sharing(), cores)),
+        p => {
+            eprintln!("error: unknown --policy '{p}' (expected rs|rrs|ls)");
+            exit(2);
+        }
+    }
+}
+
+/// Deterministic report shared by `run` and `replay` — CI diffs these
+/// byte-for-byte, so it must not mention where the traces came from.
+fn print_report(name: &str, policy: &str, machine: &MachineConfig, r: &RunResult) {
+    println!("workload {name}");
+    println!("policy   {policy} on {} cores", machine.num_cores);
+    println!("makespan {} cycles ({:.6} s)", r.makespan_cycles, r.seconds);
+    println!(
+        "cache    hits {} misses {} (cold {} capacity {} conflict {})",
+        r.machine.cache.hits,
+        r.machine.cache.misses,
+        r.machine.cache.cold_misses,
+        r.machine.cache.capacity_misses,
+        r.machine.cache.conflict_misses
+    );
+    println!("busy     {} cycles", r.machine.total_busy_cycles);
+    for (c, seq) in r.core_sequences.iter().enumerate() {
+        let seq: Vec<String> = seq.iter().map(|p| p.to_string()).collect();
+        println!("core {c}: {}", seq.join(" "));
+    }
+    for (pid, e) in &r.processes {
+        println!(
+            "proc {pid}: core {} start {} finish {} dispatches {}",
+            e.core, e.start, e.finish, e.dispatches
+        );
+    }
+}
+
+fn read_bundle(path: &str) -> TraceBundle {
+    TraceBundle::read_file(path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        usage();
+    };
+    let rest = &args[1..];
+    match cmd {
+        "record" => {
+            let w = workload_from_args(rest);
+            let layout = Layout::linear(w.arrays());
+            let out = flag(rest, "--out").unwrap_or("trace.ltr");
+            let bundle = w.record(&layout);
+            let bytes = bundle.to_bytes();
+            std::fs::write(out, &bytes).unwrap_or_else(|e| {
+                eprintln!("error: writing {out}: {e}");
+                exit(1);
+            });
+            eprintln!(
+                "recorded {}: {} processes, {} edges, {} ops -> {} bytes ({:.2} bits/op)",
+                out,
+                bundle.records.len(),
+                bundle.edges.len(),
+                bundle.total_ops(),
+                bytes.len(),
+                bytes.len() as f64 * 8.0 / bundle.total_ops().max(1) as f64
+            );
+        }
+        "replay" => {
+            let Some(path) = rest.first() else { usage() };
+            let bundle = read_bundle(path);
+            let machine = machine_from_args(rest);
+            let mut policy = policy_from_args(rest, || SharingMatrix::from_bundle(&bundle));
+            let r = execute_bundle(&bundle, policy.as_mut(), machine).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1);
+            });
+            print_report(&bundle.name, policy.name(), &machine, &r);
+        }
+        "run" => {
+            let w = workload_from_args(rest);
+            let layout = Layout::linear(w.arrays());
+            let machine = machine_from_args(rest);
+            let mut policy = policy_from_args(rest, || SharingMatrix::from_workload(&w));
+            let r = execute(&w, &layout, policy.as_mut(), machine).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1);
+            });
+            print_report(w.name(), policy.name(), &machine, &r);
+        }
+        "inspect" => {
+            let Some(path) = rest.first() else { usage() };
+            let bundle = read_bundle(path);
+            let limit = parse_usize_flag(rest, "--limit", 64) as u64;
+            let only: Option<usize> = flag(rest, "--proc").and_then(|v| v.parse().ok());
+            for (i, rec) in bundle.records.iter().enumerate() {
+                if only.is_some_and(|p| p != i) {
+                    continue;
+                }
+                println!(
+                    "# proc {i} {} ({} ops, {} blocks)",
+                    rec.name,
+                    rec.program.len_ops(),
+                    rec.program.blocks().len()
+                );
+                for op in rec.program.iter().take(limit as usize) {
+                    println!("{op}");
+                }
+                if rec.program.len_ops() > limit {
+                    println!("# ... {} more ops", rec.program.len_ops() - limit);
+                }
+            }
+        }
+        "stats" => {
+            let Some(path) = rest.first() else { usage() };
+            let bundle = read_bundle(path);
+            println!(
+                "bundle {} ({} processes, {} edges, {} ops)",
+                bundle.name,
+                bundle.records.len(),
+                bundle.edges.len(),
+                bundle.total_ops()
+            );
+            for (i, rec) in bundle.records.iter().enumerate() {
+                let s = rec.program.stats();
+                println!(
+                    "proc {i} {}: ops {} (accesses {} writes {} compute_cycles {}), {} blocks, {:.1}x compression",
+                    rec.name,
+                    rec.program.len_ops(),
+                    s.accesses,
+                    s.writes,
+                    s.compute_cycles,
+                    rec.program.blocks().len(),
+                    rec.program.len_ops() as f64 / rec.program.blocks().len().max(1) as f64
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

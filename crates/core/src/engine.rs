@@ -47,19 +47,43 @@ use std::fmt;
 
 use lams_layout::Layout;
 use lams_mpsoc::{CoreId, Machine, MachineConfig, MachineStats};
-use lams_procgraph::{ProcessId, ReadyTracker};
+use lams_procgraph::{EpgBuilder, ProcessGraph, ProcessId, ReadyTracker};
+use lams_trace::{Cursor, TraceBundle};
 use lams_workloads::{Trace, Workload};
 
 use crate::{Error, Policy, Result};
 
+/// Which trace representation feeds the cores.
+///
+/// Both modes produce **bit-identical** results (makespans, dispatch
+/// sequences, cache statistics) — differentially tested in
+/// `crates/core/tests/trace_ir.rs` and pinned by the golden makespans in
+/// `tests/cross_validation.rs`. IR mode compiles each process's affine
+/// trace into a stride-run program once and executes whole runs between
+/// preemption points ([`lams_mpsoc::Machine::exec_source_until`]);
+/// scalar mode is the reference one-op-at-a-time iterator kept for
+/// differential testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Compiled stride-run IR (the default fast path).
+    #[default]
+    Ir,
+    /// The scalar per-op trace iterator (reference path).
+    Scalar,
+}
+
 /// Engine configuration: the machine plus an optional quantum override
-/// (normally the quantum comes from the policy).
+/// (normally the quantum comes from the policy) and the trace
+/// representation to execute.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// The simulated machine.
     pub machine: MachineConfig,
     /// When set, overrides the policy's preemption quantum.
     pub quantum_override: Option<u64>,
+    /// Trace representation feeding the cores (defaults to
+    /// [`TraceMode::Ir`]; results are identical either way).
+    pub trace_mode: TraceMode,
 }
 
 impl EngineConfig {
@@ -68,7 +92,14 @@ impl EngineConfig {
         EngineConfig {
             machine: MachineConfig::paper_default(),
             quantum_override: None,
+            trace_mode: TraceMode::default(),
         }
+    }
+
+    /// Builder-style override of the trace representation.
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
+        self
     }
 }
 
@@ -83,6 +114,7 @@ impl From<MachineConfig> for EngineConfig {
         EngineConfig {
             machine,
             quantum_override: None,
+            trace_mode: TraceMode::default(),
         }
     }
 }
@@ -161,15 +193,29 @@ enum RunState {
     PreemptPending,
 }
 
+/// A core's trace feed: either the scalar iterator or an IR cursor.
+/// Both decode the same op stream; the cursor additionally exposes the
+/// stream's run structure to the machine's batched executor.
+enum Feed<'a> {
+    Scalar(Trace<'a>),
+    Ir(Cursor<'a>),
+}
+
 struct Running<'a> {
     pid: ProcessId,
-    trace: Trace<'a>,
+    trace: Feed<'a>,
     quantum_end: Option<u64>,
     state: RunState,
 }
 
 /// Executes `workload` on the configured machine under `policy`, with
 /// array addresses resolved through `layout`.
+///
+/// In the default [`TraceMode::Ir`], each process's trace is first
+/// compiled into a stride-run program
+/// ([`Workload::compile_traces`]) and executed batchwise; in
+/// [`TraceMode::Scalar`] the one-op-at-a-time iterator feeds the cores.
+/// Results are bit-identical either way.
 ///
 /// The engine maintains one clock per core and always advances the busy
 /// core with the smallest local clock, so cross-core interactions (the
@@ -189,11 +235,74 @@ pub fn execute(
     config: impl Into<EngineConfig>,
 ) -> Result<RunResult> {
     let config: EngineConfig = config.into();
+    match config.trace_mode {
+        TraceMode::Scalar => run_engine(
+            workload.epg(),
+            |p| Feed::Scalar(workload.trace(p, layout)),
+            policy,
+            config,
+        ),
+        TraceMode::Ir => {
+            let programs = workload.compile_traces(layout);
+            run_engine(
+                workload.epg(),
+                |p| Feed::Ir(Cursor::new(&programs[p.as_usize()])),
+                policy,
+                config,
+            )
+        }
+    }
+}
+
+/// Replays a recorded [`TraceBundle`] (`.ltr` record/replay) under
+/// `policy`: the bundle's programs execute on the configured machine
+/// honouring the bundle's dependence edges — the full scheduling stack,
+/// no symbolic workload required. A bundle recorded with
+/// [`Workload::record`] replays to results bit-identical to executing
+/// the workload directly.
+///
+/// # Errors
+///
+/// * [`Error::Graph`](crate::Error) when the bundle's edges are
+///   malformed (self-edges, duplicates, cycles),
+/// * engine errors as for [`execute`].
+pub fn execute_bundle(
+    bundle: &TraceBundle,
+    policy: &mut dyn Policy,
+    config: impl Into<EngineConfig>,
+) -> Result<RunResult> {
+    let mut builder = EpgBuilder::new();
+    for i in 0..bundle.records.len() {
+        builder.add_process(ProcessId::new(i as u32))?;
+    }
+    for &(from, to) in &bundle.edges {
+        builder.add_edge(ProcessId::new(from), ProcessId::new(to))?;
+    }
+    let epg = builder.build()?;
+    run_engine(
+        &epg,
+        |p| Feed::Ir(Cursor::new(&bundle.records[p.as_usize()].program)),
+        policy,
+        config.into(),
+    )
+}
+
+/// The engine proper, generic over where traces come from: `feed` maps a
+/// process id to its (restartable) trace feed.
+fn run_engine<'a, F>(
+    epg: &ProcessGraph,
+    mut feed: F,
+    policy: &mut dyn Policy,
+    config: EngineConfig,
+) -> Result<RunResult>
+where
+    F: FnMut(ProcessId) -> Feed<'a>,
+{
     let mut machine = Machine::try_new(config.machine)?;
     let cores = machine.num_cores();
-    let mut tracker = ReadyTracker::new(workload.epg());
+    let mut tracker = ReadyTracker::new(epg);
     let mut ready_at: BTreeMap<ProcessId, u64> = BTreeMap::new();
-    let mut paused: BTreeMap<ProcessId, Trace<'_>> = BTreeMap::new();
+    let mut paused: BTreeMap<ProcessId, Feed<'a>> = BTreeMap::new();
     let mut running: Vec<Option<Running<'_>>> = (0..cores).map(|_| None).collect();
     let mut last_on_core: Vec<Option<ProcessId>> = vec![None; cores];
     let mut core_sequences: Vec<Vec<ProcessId>> = vec![Vec::new(); cores];
@@ -271,9 +380,7 @@ pub fn execute(
                     .core_clock(core)?
                     .max(ready_at.get(&pid).copied().unwrap_or(0));
                 machine.wait_until(core, start)?;
-                let trace = paused
-                    .remove(&pid)
-                    .unwrap_or_else(|| workload.trace(pid, layout));
+                let trace = paused.remove(&pid).unwrap_or_else(|| feed(pid));
                 let quantum_end = quantum(policy).map(|q| start + q);
                 running[core] = Some(Running {
                     pid,
@@ -375,7 +482,10 @@ pub fn execute(
         }
 
         let slot = running[core].as_mut().expect("core is busy");
-        let outcome = machine.exec_until(core, &mut slot.trace, horizon)?;
+        let outcome = match &mut slot.trace {
+            Feed::Scalar(t) => machine.exec_until(core, t, horizon)?,
+            Feed::Ir(c) => machine.exec_source_until(core, c, horizon)?,
+        };
         let now = machine.core_clock(core)?;
         if outcome.exhausted {
             // Defer: the seed engine discovered an empty trace at the
@@ -412,6 +522,7 @@ mod tests {
         EngineConfig {
             machine: MachineConfig::paper_default().with_cores(cores),
             quantum_override: None,
+            trace_mode: TraceMode::default(),
         }
     }
 
@@ -535,6 +646,7 @@ mod tests {
         let cfg = EngineConfig {
             machine: MachineConfig::paper_default().with_cores(4),
             quantum_override: Some(500),
+            trace_mode: TraceMode::default(),
         };
         let r = execute(&w, &layout, &mut ls, cfg).unwrap();
         assert!(r.processes.values().any(|e| e.dispatches > 1));

@@ -65,7 +65,7 @@ pub mod sweep;
 mod task_affinity;
 
 pub use critical_path::CriticalPathPolicy;
-pub use engine::{execute, EngineConfig, ProcessExec, RunResult};
+pub use engine::{execute, execute_bundle, EngineConfig, ProcessExec, RunResult, TraceMode};
 pub use error::{Error, Result};
 pub use experiment::{Experiment, LsmArtifacts};
 pub use locality::LocalityPolicy;

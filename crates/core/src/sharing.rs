@@ -50,6 +50,59 @@ impl SharingMatrix {
         m
     }
 
+    /// Builds the matrix from a recorded [`lams_trace::TraceBundle`]:
+    /// per-process footprints are the distinct addresses each program
+    /// touches, and sharing is their pairwise overlap.
+    ///
+    /// For a bundle recorded from a [`Workload`] this equals
+    /// [`SharingMatrix::from_workload`] exactly — array regions are
+    /// disjoint and element addresses injective, so address overlap *is*
+    /// element overlap — which is what makes `.ltr` replay reproduce
+    /// locality-aware schedules bit-identically. For externally captured
+    /// traces it is the natural operational definition.
+    pub fn from_bundle(bundle: &lams_trace::TraceBundle) -> Self {
+        let n = bundle.records.len();
+        let mut m = SharingMatrix {
+            n,
+            data: vec![0; n * n],
+        };
+        // Sorted, deduplicated footprint vectors: bundles can carry
+        // millions of references per process, and a two-pointer merge
+        // over contiguous memory beats tree-set intersection there.
+        let footprints: Vec<Vec<u64>> = bundle
+            .records
+            .iter()
+            .map(|r| {
+                let mut addrs: Vec<u64> = r.program.iter().filter_map(|op| op.addr()).collect();
+                addrs.sort_unstable();
+                addrs.dedup();
+                addrs
+            })
+            .collect();
+        let overlap = |a: &[u64], b: &[u64]| -> u64 {
+            let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            count
+        };
+        for i in 0..n {
+            for j in i + 1..n {
+                let v = overlap(&footprints[i], &footprints[j]);
+                m.set(ProcessId::new(i as u32), ProcessId::new(j as u32), v);
+            }
+        }
+        m
+    }
+
     /// Builds the matrix at cache-line granularity: footprints are first
     /// mapped through `layout` to byte addresses and coarsened to lines.
     /// An ablation alternative to the paper's element counting — two

@@ -12,9 +12,12 @@
 //! * [`SweepRunner`] — executes any indexed job list across
 //!   `std::thread::scope` workers pulling from a shared
 //!   `Mutex<VecDeque>` queue (the build image has no rayon; scoped
-//!   threads need no `'static` bounds and no dependencies);
+//!   threads need no `'static` bounds and no dependencies), with an
+//!   optional **longest-job-first** queue order
+//!   ([`SweepRunner::run_weighted`]) fed by up-front IR trace lengths;
 //! * a deterministic collection step that reassembles results **in
-//!   enumeration order**, regardless of which worker finished first.
+//!   enumeration order**, regardless of which worker finished first or
+//!   how the queue was ordered.
 //!
 //! # Determinism contract
 //!
@@ -97,10 +100,51 @@ impl SweepRunner {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_queue((0..n).collect(), f)
+    }
+
+    /// Runs `f(0..weights.len())` with the job queue ordered
+    /// **longest-job-first**: indices are popped in descending weight
+    /// (ties in index order, so the ordering is total and stable).
+    /// Results still come back **in index order** — queue order affects
+    /// only *when* each independent job runs, so for pure jobs the
+    /// output is bit-identical to [`SweepRunner::run`]; LJF merely
+    /// tightens the parallel makespan on skewed matrices (a long job
+    /// started last would otherwise overhang the pool).
+    ///
+    /// Weights are whatever monotone cost proxy the caller has up
+    /// front; [`ScenarioMatrix::run`] uses compiled IR trace lengths.
+    pub fn run_weighted<T, F>(&self, weights: &[u64], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        // Stable sort: equal weights keep enumeration order.
+        order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+        self.run_queue(order.into(), f)
+    }
+
+    /// Shared driver: executes `f` over the queued indices (in queue
+    /// order for one thread; popped from the front by workers
+    /// otherwise), returning results **in index order**.
+    fn run_queue<T, F>(&self, order: VecDeque<usize>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let n = order.len();
         if self.threads == 1 || n <= 1 {
-            return (0..n).map(f).collect();
+            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for i in order {
+                slots[i] = Some(f(i));
+            }
+            return slots
+                .into_iter()
+                .map(|slot| slot.expect("every index was queued"))
+                .collect();
         }
-        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+        let queue: Mutex<VecDeque<usize>> = Mutex::new(order);
         let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
         std::thread::scope(|s| {
             for _ in 0..self.threads.min(n) {
@@ -154,6 +198,21 @@ impl SweepJob {
     /// The scheduling policy the job evaluates.
     pub fn kind(&self) -> PolicyKind {
         self.kind
+    }
+
+    /// Up-front cost estimate for queue ordering: the workload's total
+    /// trace ops (known before any simulation — the compiled IR length),
+    /// scaled for LSM whose pilot run plus candidate-layout ladder
+    /// re-simulates the workload several times. A heuristic, not a
+    /// promise: only the *ordering* of the longest-job-first queue
+    /// consumes it, never the results.
+    pub fn weight(&self) -> u64 {
+        let ops = self.experiment.workload().total_trace_ops();
+        match self.kind {
+            // Pilot + typically ~5–10 deduplicated ladder candidates.
+            PolicyKind::LocalityMap => ops.saturating_mul(8),
+            _ => ops,
+        }
     }
 
     /// Executes the job: `(engine result, arrays remapped by LSM)`.
@@ -257,12 +316,19 @@ impl ScenarioMatrix {
     /// Executes every job on `runner` and reassembles one
     /// [`ComparisonReport`] per group, in first-appearance order.
     ///
+    /// The queue is ordered **longest-job-first** by up-front trace
+    /// length ([`SweepJob::weight`]), which tightens the pool's makespan
+    /// on skewed matrices (fig7's `|T|` ladder); reports are
+    /// bit-identical to FIFO order for any thread count (pinned in
+    /// `crates/core/tests/sweep.rs`).
+    ///
     /// # Errors
     ///
     /// Returns the error of the earliest enumerated failing job.
     pub fn run(&self, runner: &SweepRunner) -> Result<Vec<ComparisonReport>> {
         let parallel = runner.threads() > 1 && self.jobs.len() > 1;
-        let results = runner.run(self.jobs.len(), |i| self.jobs[i].execute(parallel));
+        let weights: Vec<u64> = self.jobs.iter().map(SweepJob::weight).collect();
+        let results = runner.run_weighted(&weights, |i| self.jobs[i].execute(parallel));
 
         let mut order: Vec<&str> = Vec::new();
         let mut grouped: Vec<(MachineConfig, Vec<RunOutcome>)> = Vec::new();

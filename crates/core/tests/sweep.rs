@@ -115,6 +115,61 @@ fn multi_group_matrix_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// The longest-job-first queue must not change what a sweep returns:
+/// reports are bit-identical to executing every job sequentially in
+/// enumeration order (the pre-LJF behaviour), for any thread count.
+#[test]
+fn ljf_queue_keeps_reports_bit_identical() {
+    let build = || {
+        let mut m = ScenarioMatrix::new();
+        // Deliberately skewed job sizes: tiny and small scales mixed,
+        // so LJF actually reorders the queue.
+        for scale in [Scale::Tiny, Scale::Small] {
+            for app in [suite::shape(scale), suite::mxm(scale)] {
+                let exp = Experiment::isolated(&app, machine4()).with_seed(11);
+                m.push_all(
+                    format!("{}-{scale}", app.name),
+                    &exp,
+                    &[PolicyKind::Random, PolicyKind::Locality],
+                );
+            }
+        }
+        m
+    };
+    // Sequential reference in enumeration order, bypassing the queue.
+    let matrix = build();
+    let expected: Vec<String> = matrix
+        .jobs()
+        .iter()
+        .map(|j| format!("{:?}", j.experiment().run(j.kind()).expect("job runs")))
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let m = build();
+        let reports = m.run(&SweepRunner::new(threads)).expect("sweep runs");
+        let got: Vec<String> = reports
+            .iter()
+            .flat_map(|r| r.outcomes().iter().map(|o| format!("{:?}", o.result)))
+            .collect();
+        assert_eq!(got, expected, "LJF drifted at {threads} threads");
+    }
+}
+
+/// With one worker the queue order is observable: jobs must execute in
+/// descending weight, ties in enumeration order.
+#[test]
+fn single_thread_executes_longest_first() {
+    use std::sync::Mutex;
+    let weights = [5u64, 9, 9, 1, 7, 9, 0];
+    let order = Mutex::new(Vec::new());
+    let out = SweepRunner::sequential().run_weighted(&weights, |i| {
+        order.lock().unwrap().push(i);
+        i
+    });
+    // Results in index order regardless of execution order.
+    assert_eq!(out, (0..weights.len()).collect::<Vec<_>>());
+    assert_eq!(order.into_inner().unwrap(), vec![1, 2, 5, 4, 0, 3, 6]);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -122,6 +177,15 @@ proptest! {
     fn runner_output_order_never_depends_on_threads(n in 0usize..48, threads in 1usize..9) {
         let out = SweepRunner::new(threads).run(n, |i| i * 3 + 1);
         prop_assert_eq!(out, (0..n).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_runner_output_order_never_depends_on_threads_or_weights(
+        weights in prop::collection::vec(0u64..1000, 0usize..48),
+        threads in 1usize..9,
+    ) {
+        let out = SweepRunner::new(threads).run_weighted(&weights, |i| i * 7 + 2);
+        prop_assert_eq!(out, (0..weights.len()).map(|i| i * 7 + 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -105,6 +105,22 @@ impl Layout {
         self.remap_b.get(array.as_usize()).copied().flatten()
     }
 
+    /// Element size in bytes of `array` (as covered by this layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the array is out of range.
+    pub fn elem_bytes(&self, array: ArrayId) -> u64 {
+        self.elem_bytes[array.as_usize()]
+    }
+
+    /// The half-cache-page chunk size (`C/2`) remapped arrays are cut
+    /// into — the span over which a remapped array's addresses stay
+    /// affine (trace compilers split strided runs at chunk boundaries).
+    pub fn half_page(&self) -> u64 {
+        self.half_page
+    }
+
     /// Byte address of the first byte of element `index` of `array`.
     ///
     /// This is the hot path of trace generation, so it does *not*

@@ -455,6 +455,56 @@ impl Cache {
         AccessOutcome::Miss(kind)
     }
 
+    /// Bulk-applies `rounds` rounds of guaranteed hits over `lines`
+    /// (one access per line per round, lines in access order within a
+    /// round) — bit-identical in final state (way stamps, shadow order)
+    /// and statistics to calling [`Cache::access`] for each of the
+    /// `lines.len() * rounds` accesses individually.
+    ///
+    /// The caller must guarantee every covered access *would* hit: each
+    /// line is resident at entry and is re-touched every round with no
+    /// intervening misses (hits never evict, so residency is stable
+    /// across the window). [`crate::Machine::exec_source_until`]
+    /// establishes this by probing one full round per window and
+    /// bounding the window at the first lane line-boundary crossing.
+    pub(crate) fn bulk_hit_rounds(
+        &mut self,
+        lines: impl ExactSizeIterator<Item = u64> + Clone,
+        rounds: u64,
+    ) {
+        let m = lines.len() as u64;
+        debug_assert!(m > 0 && rounds > 0, "empty bulk window");
+        let start = self.clock;
+        self.clock += m * rounds;
+        self.stats.hits += m * rounds;
+        for (j, line) in lines.clone().enumerate() {
+            // Final stamp: the access clock of this lane's touch in the
+            // last round (a later lane on the same line overwrites, as
+            // per-op execution would).
+            self.stamp_resident(line, start + (rounds - 1) * m + j as u64 + 1);
+        }
+        if let Some(shadow) = &mut self.shadow {
+            // Per-op, the window's final shadow order is the order of the
+            // last round's touches — touching once per lane in lane order
+            // reaches the same state.
+            for line in lines {
+                shadow.touch(line);
+            }
+        }
+    }
+
+    /// Re-stamps a resident line (bulk-hit bookkeeping).
+    fn stamp_resident(&mut self, line: u64, stamp: u64) {
+        let set_base = (line & self.set_mask) as usize * self.assoc;
+        for w in &mut self.ways[set_base..set_base + self.assoc] {
+            if w.stamp != 0 && w.line == line {
+                w.stamp = stamp;
+                return;
+            }
+        }
+        debug_assert!(false, "bulk hit on a non-resident line {line}");
+    }
+
     /// Empties the cache (keeps statistics and the cold-line history).
     pub fn flush(&mut self) {
         self.ways.fill(EMPTY);

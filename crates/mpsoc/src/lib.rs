@@ -92,6 +92,7 @@ mod config;
 mod energy;
 mod error;
 mod machine;
+mod source;
 mod stats;
 mod trace;
 
@@ -101,5 +102,6 @@ pub use config::{BusConfig, CacheConfig, MachineConfig};
 pub use energy::EnergyModel;
 pub use error::{Error, Result};
 pub use machine::{BatchOutcome, CoreId, Machine};
+pub use source::{Segment, SegmentLane, TraceSource};
 pub use stats::{CacheStats, CoreStats, MachineStats};
-pub use trace::{TraceOp, TraceStats};
+pub use trace::{ParseTraceOpError, TraceOp, TraceStats};

@@ -2,7 +2,10 @@
 
 use std::fmt;
 
-use crate::{Bus, Cache, CoreStats, Error, MachineConfig, MachineStats, Result, TraceOp};
+use crate::{
+    Bus, Cache, CoreStats, Error, MachineConfig, MachineStats, Result, Segment, TraceOp,
+    TraceSource,
+};
 
 /// Index of a processor core.
 pub type CoreId = usize;
@@ -133,29 +136,43 @@ impl Machine {
     /// miss_latency` plus any bus waiting when a bus is configured.
     #[inline]
     fn exec_on(c: &mut Core, bus: &mut Option<Bus>, config: &MachineConfig, op: TraceOp) -> u64 {
-        let cost = match op {
-            TraceOp::Compute(cycles) => cycles,
-            TraceOp::Access { addr, .. } => {
-                let outcome = c.cache.access(addr);
-                if outcome.is_hit() {
-                    config.hit_latency
-                } else {
-                    let mut cost = config.hit_latency + config.miss_latency;
-                    if let Some(bus) = bus {
-                        let request_at = c.clock + config.hit_latency;
-                        let grant = bus.acquire(request_at);
-                        let wait = grant - request_at;
-                        c.stats.bus_wait_cycles += wait;
-                        cost += wait;
-                    }
-                    cost
-                }
+        match op {
+            TraceOp::Compute(cycles) => {
+                c.clock += cycles;
+                c.stats.busy_cycles += cycles;
+                c.stats.ops += 1;
+                cycles
             }
+            TraceOp::Access { addr, .. } => Self::exec_access(c, bus, config, addr).0,
+        }
+    }
+
+    /// Executes one memory access on a core, returning `(cost, hit)`.
+    #[inline]
+    fn exec_access(
+        c: &mut Core,
+        bus: &mut Option<Bus>,
+        config: &MachineConfig,
+        addr: u64,
+    ) -> (u64, bool) {
+        let hit = c.cache.access(addr).is_hit();
+        let cost = if hit {
+            config.hit_latency
+        } else {
+            let mut cost = config.hit_latency + config.miss_latency;
+            if let Some(bus) = bus {
+                let request_at = c.clock + config.hit_latency;
+                let grant = bus.acquire(request_at);
+                let wait = grant - request_at;
+                c.stats.bus_wait_cycles += wait;
+                cost += wait;
+            }
+            cost
         };
         c.clock += cost;
         c.stats.busy_cycles += cost;
         c.stats.ops += 1;
-        cost
+        (cost, hit)
     }
 
     /// Executes trace ops from `ops` on `core` until the core's clock
@@ -205,6 +222,203 @@ impl Machine {
                     exhausted: false,
                     last_op_start,
                 });
+            }
+        }
+    }
+
+    /// Executes trace ops from a batched [`TraceSource`] on `core` until
+    /// the core's clock reaches `horizon` or the source is exhausted —
+    /// the stride-run fast path, **bit-identical** to feeding the
+    /// decoded op stream through [`Machine::exec_until`] (same final
+    /// cache state and statistics, same clock, same
+    /// [`BatchOutcome::last_op_start`]; at least one op executes when
+    /// the source is non-empty, mirroring the one-op tie semantics).
+    ///
+    /// Where the per-op path probes the cache for every access, this
+    /// path exploits two exact structural facts:
+    ///
+    /// * within a [`Segment::Run`], consecutive accesses to the same
+    ///   cache line after a probed access are guaranteed hits (the line
+    ///   was just touched and nothing intervened), so they collapse to
+    ///   one [`Cache::bulk_hit_rounds`] update plus clock arithmetic;
+    /// * within [`Segment::Rounds`], after one fully probed round in
+    ///   which every lane hit, residency cannot change (hits never
+    ///   evict) until some lane crosses a line boundary — whole rounds
+    ///   collapse the same way, compute ops included.
+    ///
+    /// Horizon checks stay per-op-exact: every bulk op has a fixed,
+    /// known cost (guaranteed hit or constant compute), so the op that
+    /// first reaches the horizon is located arithmetically — Burst and
+    /// Run windows are cut at exactly that op, while Rounds windows
+    /// stop strictly before the horizon and hand over to the per-op
+    /// probe. An op with *arbitration-dependent* cost (a miss in bus
+    /// mode) is never bulked — any future bulk extension to bus-visible
+    /// ops must keep that property or bit-identity breaks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchCore`] for an out-of-range core.
+    pub fn exec_source_until<S: TraceSource>(
+        &mut self,
+        core: CoreId,
+        src: &mut S,
+        horizon: u64,
+    ) -> Result<BatchOutcome> {
+        let n = self.cores.len();
+        let c = self
+            .cores
+            .get_mut(core)
+            .ok_or(Error::NoSuchCore { core, num_cores: n })?;
+        let hit_lat = self.config.hit_latency;
+        let shift = self.config.cache.line_bytes.trailing_zeros();
+        let mut executed = 0u64;
+        let mut last_op_start = c.clock;
+        let done = |executed, last_op_start, exhausted| {
+            Ok(BatchOutcome {
+                ops: executed,
+                exhausted,
+                last_op_start,
+            })
+        };
+
+        loop {
+            let Some(seg) = src.peek_segment() else {
+                return done(executed, last_op_start, true);
+            };
+            match seg {
+                Segment::Burst { cycles, repeat } => {
+                    debug_assert!(repeat > 0, "empty burst segment");
+                    // Ops until the per-op loop would stop: the first op
+                    // whose post-clock reaches the horizon (zero-cycle
+                    // computes never advance the clock, so they all
+                    // execute). The batch's first op runs regardless.
+                    let t = if c.clock >= horizon {
+                        debug_assert_eq!(executed, 0, "missed a horizon stop");
+                        1
+                    } else if cycles == 0 {
+                        repeat
+                    } else {
+                        repeat.min((horizon - c.clock).div_ceil(cycles))
+                    };
+                    last_op_start = c.clock + (t - 1) * cycles;
+                    c.clock += t * cycles;
+                    c.stats.busy_cycles += t * cycles;
+                    c.stats.ops += t;
+                    executed += t;
+                    src.advance(t);
+                    if c.clock >= horizon {
+                        return done(executed, last_op_start, false);
+                    }
+                }
+                Segment::Run {
+                    base,
+                    stride,
+                    count,
+                    write: _,
+                } => {
+                    debug_assert!(count > 0, "empty run segment");
+                    let mut i = 0u64;
+                    while i < count {
+                        // Probe one access through the general path
+                        // (may miss, may wait on the bus).
+                        let addr = base.wrapping_add(stride.wrapping_mul(i as i64) as u64);
+                        last_op_start = c.clock;
+                        Self::exec_access(c, &mut self.bus, &self.config, addr);
+                        executed += 1;
+                        i += 1;
+                        if c.clock >= horizon {
+                            src.advance(i);
+                            return done(executed, last_op_start, false);
+                        }
+                        // Guaranteed-hit tail: upcoming ops still inside
+                        // the line just touched.
+                        let k = same_line_ops(addr, stride, count - i, shift);
+                        if k == 0 {
+                            continue;
+                        }
+                        // Cap at the horizon-crossing op (hit_latency is
+                        // validated non-zero; clock < horizon here).
+                        let t = k.min((horizon - c.clock).div_ceil(hit_lat));
+                        c.cache.bulk_hit_rounds(std::iter::once(addr >> shift), t);
+                        last_op_start = c.clock + (t - 1) * hit_lat;
+                        c.clock += t * hit_lat;
+                        c.stats.busy_cycles += t * hit_lat;
+                        c.stats.ops += t;
+                        executed += t;
+                        i += t;
+                        if c.clock >= horizon {
+                            src.advance(i);
+                            return done(executed, last_op_start, false);
+                        }
+                    }
+                    src.advance(count);
+                }
+                Segment::Rounds { rounds, cycles } => {
+                    let lanes = src.lanes();
+                    let m = lanes.len() as u64;
+                    debug_assert!(m > 0 && rounds > 0, "degenerate rounds segment");
+                    let round_cost = m * hit_lat + cycles;
+                    let mut consumed = 0u64;
+                    let mut r = 0u64;
+                    'rounds: while r < rounds {
+                        // Probe one full round op-by-op.
+                        let mut all_hit = true;
+                        for lane in lanes {
+                            last_op_start = c.clock;
+                            let (_, hit) =
+                                Self::exec_access(c, &mut self.bus, &self.config, lane.addr_at(r));
+                            all_hit &= hit;
+                            executed += 1;
+                            consumed += 1;
+                            if c.clock >= horizon {
+                                src.advance(consumed);
+                                return done(executed, last_op_start, false);
+                            }
+                        }
+                        last_op_start = c.clock;
+                        c.clock += cycles;
+                        c.stats.busy_cycles += cycles;
+                        c.stats.ops += 1;
+                        executed += 1;
+                        consumed += 1;
+                        r += 1;
+                        if c.clock >= horizon {
+                            src.advance(consumed);
+                            return done(executed, last_op_start, false);
+                        }
+                        if !all_hit || r == rounds {
+                            continue 'rounds;
+                        }
+                        // Hit-stable window: every lane re-reads the
+                        // line it touched in the probed round (r - 1).
+                        // Hits never evict, so residency is stable until
+                        // the first lane line-boundary crossing.
+                        let mut w = rounds - r;
+                        for lane in lanes {
+                            w = w.min(same_line_ops(lane.addr_at(r - 1), lane.stride, w, shift));
+                            if w == 0 {
+                                continue 'rounds;
+                            }
+                        }
+                        // Whole rounds ending strictly below the horizon
+                        // (round_cost >= hit_lat >= 1; clock < horizon).
+                        w = w.min((horizon - 1 - c.clock) / round_cost);
+                        if w == 0 {
+                            continue 'rounds;
+                        }
+                        c.cache
+                            .bulk_hit_rounds(lanes.iter().map(|l| l.addr_at(r - 1) >> shift), w);
+                        c.clock += w * round_cost;
+                        c.stats.busy_cycles += w * round_cost;
+                        c.stats.ops += w * (m + 1);
+                        // The window's final op is its last compute.
+                        last_op_start = c.clock - cycles;
+                        executed += w * (m + 1);
+                        consumed += w * (m + 1);
+                        r += w;
+                    }
+                    src.advance(consumed);
+                }
             }
         }
     }
@@ -275,6 +489,7 @@ impl Machine {
         for c in &self.cores {
             s.cache += *c.cache.stats();
             s.total_busy_cycles += c.stats.busy_cycles;
+            s.total_bus_wait_cycles += c.stats.bus_wait_cycles;
             s.makespan_cycles = s.makespan_cycles.max(c.clock);
         }
         s
@@ -288,6 +503,26 @@ impl Machine {
     /// Resets clocks, caches and statistics.
     pub fn reset(&mut self) {
         *self = Machine::new(self.config);
+    }
+}
+
+/// How many of the `remaining` upcoming strided ops (`addr + stride`,
+/// `addr + 2*stride`, …) still fall in the cache line of `addr`.
+#[inline]
+fn same_line_ops(addr: u64, stride: i64, remaining: u64, line_shift: u32) -> u64 {
+    if remaining == 0 {
+        return 0;
+    }
+    if stride == 0 {
+        return remaining;
+    }
+    let line_start = (addr >> line_shift) << line_shift;
+    if stride > 0 {
+        let room = line_start + (1u64 << line_shift) - 1 - addr;
+        (room / stride as u64).min(remaining)
+    } else {
+        let room = addr - line_start;
+        (room / stride.unsigned_abs()).min(remaining)
     }
 }
 

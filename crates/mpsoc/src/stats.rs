@@ -104,6 +104,8 @@ pub struct MachineStats {
     pub cache: CacheStats,
     /// Sum of busy cycles over cores.
     pub total_busy_cycles: u64,
+    /// Sum of bus-wait cycles over cores (0 without a bus model).
+    pub total_bus_wait_cycles: u64,
     /// Maximum core clock (the makespan so far).
     pub makespan_cycles: u64,
 }

@@ -1,6 +1,7 @@
 //! Memory-reference trace operations.
 
 use std::fmt;
+use std::str::FromStr;
 
 /// One operation of a process's execution trace.
 ///
@@ -57,6 +58,63 @@ impl fmt::Display for TraceOp {
             TraceOp::Access { addr, write: false } => write!(f, "R 0x{addr:x}"),
             TraceOp::Access { addr, write: true } => write!(f, "W 0x{addr:x}"),
             TraceOp::Compute(c) => write!(f, "C {c}"),
+        }
+    }
+}
+
+/// Error parsing the textual [`TraceOp`] form (see [`TraceOp::from_str`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceOpError {
+    /// The offending input line.
+    input: String,
+}
+
+impl ParseTraceOpError {
+    fn new(input: &str) -> Self {
+        ParseTraceOpError {
+            input: input.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ParseTraceOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid trace op {:?} (expected 'R 0x<hex>', 'W 0x<hex>' or 'C <dec>')",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseTraceOpError {}
+
+impl FromStr for TraceOp {
+    type Err = ParseTraceOpError;
+
+    /// Parses the exact [`fmt::Display`] form back: `R 0x<hex>`,
+    /// `W 0x<hex>` or `C <dec>` — the lossless inverse used by
+    /// `trace_tool inspect` text dumps.
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let err = || ParseTraceOpError::new(s);
+        let (tag, rest) = s.split_once(' ').ok_or_else(err)?;
+        match tag {
+            "R" | "W" => {
+                let hex = rest.strip_prefix("0x").ok_or_else(err)?;
+                let addr = u64::from_str_radix(hex, 16).map_err(|_| err())?;
+                Ok(TraceOp::Access {
+                    addr,
+                    write: tag == "W",
+                })
+            }
+            "C" => {
+                // Reject forms Display never emits (signs, leading '+').
+                if !rest.bytes().all(|b| b.is_ascii_digit()) || rest.is_empty() {
+                    return Err(err());
+                }
+                rest.parse().map(TraceOp::Compute).map_err(|_| err())
+            }
+            _ => Err(err()),
         }
     }
 }
@@ -127,5 +185,28 @@ mod tests {
         assert_eq!(TraceOp::read(255).to_string(), "R 0xff");
         assert_eq!(TraceOp::write(16).to_string(), "W 0x10");
         assert_eq!(TraceOp::compute(3).to_string(), "C 3");
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for op in [
+            TraceOp::read(0),
+            TraceOp::read(0xdead_beef),
+            TraceOp::write(u64::MAX),
+            TraceOp::compute(0),
+            TraceOp::compute(u64::MAX),
+        ] {
+            assert_eq!(op.to_string().parse::<TraceOp>(), Ok(op));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_forms() {
+        for bad in [
+            "", "R", "R 10", "R 0x", "R 0xzz", "X 0x10", "C", "C -1", "C +1", "C 0x10", "C 1 2",
+            "r 0x10", "R  0x10",
+        ] {
+            assert!(bad.parse::<TraceOp>().is_err(), "{bad:?} parsed");
+        }
     }
 }

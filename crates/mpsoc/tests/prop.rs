@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 
-use lams_mpsoc::{AccessOutcome, Cache, CacheConfig, Machine, MachineConfig, MissKind, TraceOp};
+use lams_mpsoc::{
+    AccessOutcome, BusConfig, Cache, CacheConfig, Machine, MachineConfig, MissKind, Segment,
+    SegmentLane, TraceOp, TraceSource,
+};
 
 fn arb_trace() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(0u64..4096, 1..400)
@@ -85,6 +88,184 @@ impl RefCache {
         self.sets[set].push((line, self.clock));
         AccessOutcome::Miss(Some(kind))
     }
+}
+
+/// One test segment: a [`Segment`] plus the lanes a `Rounds` segment
+/// references.
+#[derive(Debug, Clone)]
+struct TestSeg {
+    seg: Segment,
+    lanes: Vec<SegmentLane>,
+}
+
+/// A [`TraceSource`] over a fixed segment list, supporting mid-segment
+/// resumption exactly like a compiled-program cursor: partially
+/// consumed runs/bursts re-peek shifted, and a partially consumed round
+/// is re-exposed op-wise.
+struct VecSource {
+    segs: Vec<TestSeg>,
+    idx: usize,
+    consumed: u64,
+    lane_buf: Vec<SegmentLane>,
+}
+
+impl VecSource {
+    fn new(segs: Vec<TestSeg>) -> Self {
+        VecSource {
+            segs,
+            idx: 0,
+            consumed: 0,
+            lane_buf: Vec::new(),
+        }
+    }
+}
+
+impl TraceSource for VecSource {
+    fn peek_segment(&mut self) -> Option<Segment> {
+        let ts = self.segs.get(self.idx)?;
+        Some(match ts.seg {
+            Segment::Run {
+                base,
+                stride,
+                count,
+                write,
+            } => Segment::Run {
+                base: base.wrapping_add(stride.wrapping_mul(self.consumed as i64) as u64),
+                stride,
+                count: count - self.consumed,
+                write,
+            },
+            Segment::Burst { cycles, repeat } => Segment::Burst {
+                cycles,
+                repeat: repeat - self.consumed,
+            },
+            Segment::Rounds { rounds, cycles } => {
+                let m = ts.lanes.len() as u64;
+                let r = self.consumed / (m + 1);
+                let lane = self.consumed % (m + 1);
+                if lane > 0 {
+                    if lane < m {
+                        let l = ts.lanes[lane as usize];
+                        Segment::Run {
+                            base: l.addr_at(r),
+                            stride: l.stride,
+                            count: 1,
+                            write: l.write,
+                        }
+                    } else {
+                        Segment::Burst { cycles, repeat: 1 }
+                    }
+                } else {
+                    self.lane_buf.clear();
+                    self.lane_buf.extend(ts.lanes.iter().map(|l| SegmentLane {
+                        addr: l.addr_at(r),
+                        ..*l
+                    }));
+                    Segment::Rounds {
+                        rounds: rounds - r,
+                        cycles,
+                    }
+                }
+            }
+        })
+    }
+
+    fn lanes(&self) -> &[SegmentLane] {
+        &self.lane_buf
+    }
+
+    fn advance(&mut self, ops: u64) {
+        self.consumed += ops;
+        let total = self.segs[self.idx].seg.ops(self.segs[self.idx].lanes.len());
+        assert!(self.consumed <= total, "advance past segment");
+        if self.consumed == total {
+            self.idx += 1;
+            self.consumed = 0;
+        }
+    }
+}
+
+/// Decodes a segment list into its scalar trace-op stream.
+fn decode_segments(segs: &[TestSeg]) -> Vec<TraceOp> {
+    let mut ops = Vec::new();
+    for ts in segs {
+        match ts.seg {
+            Segment::Run {
+                base,
+                stride,
+                count,
+                write,
+            } => {
+                for i in 0..count {
+                    ops.push(TraceOp::Access {
+                        addr: base.wrapping_add(stride.wrapping_mul(i as i64) as u64),
+                        write,
+                    });
+                }
+            }
+            Segment::Burst { cycles, repeat } => {
+                ops.extend(std::iter::repeat_n(
+                    TraceOp::Compute(cycles),
+                    repeat as usize,
+                ));
+            }
+            Segment::Rounds { rounds, cycles } => {
+                for r in 0..rounds {
+                    for l in &ts.lanes {
+                        ops.push(TraceOp::Access {
+                            addr: l.addr_at(r),
+                            write: l.write,
+                        });
+                    }
+                    ops.push(TraceOp::Compute(cycles));
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// Random segment lists mixing runs, bursts and multi-lane rounds, with
+/// strides spanning sub-line, line-crossing, zero and negative cases.
+fn arb_segments() -> impl Strategy<Value = Vec<TestSeg>> {
+    let lane = (0u64..4096, -80i64..80, 0u8..2).prop_map(|(addr, stride, write)| SegmentLane {
+        addr: addr + 1024, // keep negative strides above address zero
+        stride,
+        write: write == 1,
+    });
+    let seg = (
+        0usize..3,
+        lane.clone(),
+        prop::collection::vec(lane, 1..4),
+        1u64..40,
+        0u64..6,
+    )
+        .prop_map(|(kind, l, lanes, count, cycles)| match kind {
+            0 => TestSeg {
+                seg: Segment::Run {
+                    base: l.addr,
+                    stride: l.stride,
+                    count,
+                    write: l.write,
+                },
+                lanes: Vec::new(),
+            },
+            1 => TestSeg {
+                seg: Segment::Burst {
+                    cycles,
+                    repeat: count,
+                },
+                lanes: Vec::new(),
+            },
+            _ => TestSeg {
+                seg: Segment::Rounds {
+                    rounds: count,
+                    cycles,
+                },
+                lanes,
+            },
+        });
+    prop::collection::vec(seg, 1..12)
 }
 
 proptest! {
@@ -223,6 +404,56 @@ proptest! {
         }
     }
 
+    /// Differential: the batched segment executor
+    /// (`Machine::exec_source_until`) is bit-identical to feeding the
+    /// decoded op stream through the per-op `Machine::exec_until` —
+    /// same `BatchOutcome`s (ops, exhaustion, preemption keys), same
+    /// clocks, same statistics, and same final cache state — across
+    /// random segment programs and arbitrary horizon schedules,
+    /// with and without a shared bus.
+    #[test]
+    fn source_executor_matches_per_op_executor(
+        segs in arb_segments(),
+        steps in prop::collection::vec(0u64..300, 1..40),
+        with_bus in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        // A small 2-way cache so evictions and conflicts actually occur.
+        let mut cfg = MachineConfig::paper_default().with_cores(1);
+        cfg.cache = CacheConfig::new(512, 2, 32).unwrap();
+        if with_bus {
+            cfg.bus = Some(BusConfig { occupancy_cycles: 9 });
+        }
+        let mut src = VecSource::new(segs.clone());
+        let ops = decode_segments(&segs);
+        let mut fast = Machine::new(cfg);
+        let mut slow = Machine::new(cfg);
+        let mut iter = ops.clone().into_iter();
+        let mut step_i = 0;
+        loop {
+            let h = slow.core_clock(0).unwrap() + steps[step_i % steps.len()];
+            step_i += 1;
+            let oa = fast.exec_source_until(0, &mut src, h).unwrap();
+            let ob = slow.exec_until(0, &mut iter, h).unwrap();
+            prop_assert_eq!(oa, ob, "batch outcome diverged at horizon {}", h);
+            prop_assert_eq!(fast.core_clock(0).unwrap(), slow.core_clock(0).unwrap());
+            prop_assert_eq!(fast.core_stats(0).unwrap(), slow.core_stats(0).unwrap());
+            if oa.exhausted {
+                break;
+            }
+        }
+        // Final cache state (stamps, shadow order) must agree too: replay
+        // an adversarial probe sequence op-wise on both machines — any
+        // stamp or shadow divergence surfaces as a differing outcome.
+        for &op in &ops {
+            if let TraceOp::Access { addr, .. } = op {
+                let a = fast.exec_op(0, TraceOp::read(addr ^ 32)).unwrap();
+                let b = slow.exec_op(0, TraceOp::read(addr ^ 32)).unwrap();
+                prop_assert_eq!(a, b, "post-batch probe diverged at {:#x}", addr);
+            }
+        }
+        prop_assert_eq!(fast.core_stats(0).unwrap(), slow.core_stats(0).unwrap());
+    }
+
     /// Machine-level: total time equals sum of op costs; makespan is the
     /// max over cores.
     #[test]
@@ -241,5 +472,22 @@ proptest! {
             prop_assert_eq!(m.core_clock(core).unwrap(), expected);
         }
         prop_assert_eq!(m.makespan(), *per_core.iter().max().unwrap());
+    }
+
+    /// The textual trace-op form (`trace_tool inspect`'s output) is a
+    /// lossless round trip: Display then FromStr is the identity for
+    /// every op, across the full u64 domain.
+    #[test]
+    fn trace_op_text_form_round_trips(
+        kind in 0u8..3,
+        value in (0u64..u64::MAX).prop_map(|v| v.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    ) {
+        let op = match kind {
+            0 => TraceOp::read(value),
+            1 => TraceOp::write(value),
+            _ => TraceOp::compute(value),
+        };
+        let text = op.to_string();
+        prop_assert_eq!(text.parse::<TraceOp>(), Ok(op), "text {:?}", text);
     }
 }

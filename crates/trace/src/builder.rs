@@ -1,0 +1,404 @@
+//! Building (compiling / recording) trace programs.
+
+use lams_mpsoc::TraceOp;
+
+use crate::{Block, Lane, LoopBlock, Program, Run};
+
+/// Builds a [`Program`] whose decoded op stream is exactly the sequence
+/// of pushes, with aggressive run-length compression:
+///
+/// * structured pushes ([`ProgramBuilder::push_loop`]) merge with the
+///   previous loop block when the strides continue seamlessly — so a
+///   contiguous row-major sweep collapses to a single block no matter
+///   how many rows the compiler pushed;
+/// * raw rounds ([`ProgramBuilder::push_round`]) RLE themselves against
+///   the open loop block, locking strides on the second round;
+/// * raw ops ([`ProgramBuilder::push_op`]) are grouped into rounds at
+///   `Compute` boundaries, and trailing accesses become strided
+///   [`Block::Run`]s.
+///
+/// The three styles can be mixed freely; exactness is differentially
+/// tested (`crates/trace/tests/prop.rs` replays random op streams).
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    blocks: Vec<Block>,
+    lanes: Vec<Lane>,
+    ops: u64,
+    /// Accesses of the current (unterminated) round, for
+    /// [`ProgramBuilder::push_op`] streams.
+    pending: Vec<(u64, bool)>,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Appends one raw trace op.
+    pub fn push_op(&mut self, op: TraceOp) {
+        match op {
+            TraceOp::Access { addr, write } => self.pending.push((addr, write)),
+            TraceOp::Compute(cycles) => {
+                let round = std::mem::take(&mut self.pending);
+                self.push_round(&round, cycles);
+                self.pending = round; // reuse the allocation
+                self.pending.clear();
+            }
+        }
+    }
+
+    /// Appends one loop round: the given accesses (in order) followed by
+    /// one `Compute(cycles)` op.
+    pub fn push_round(&mut self, accesses: &[(u64, bool)], cycles: u64) {
+        self.ops += accesses.len() as u64 + 1;
+        if self.try_extend_round(accesses, cycles) {
+            return;
+        }
+        if accesses.is_empty() {
+            self.blocks.push(Block::Burst { cycles, repeat: 1 });
+            return;
+        }
+        let lane_start = self.lanes.len() as u32;
+        self.lanes
+            .extend(accesses.iter().map(|&(addr, write)| Lane {
+                base: addr,
+                stride: 0,
+                write,
+            }));
+        self.blocks.push(Block::Loop(LoopBlock {
+            times: 1,
+            cycles,
+            lane_start,
+            lane_len: accesses.len() as u32,
+        }));
+    }
+
+    /// Tries to RLE the round into the last block.
+    fn try_extend_round(&mut self, accesses: &[(u64, bool)], cycles: u64) -> bool {
+        match self.blocks.last_mut() {
+            Some(Block::Burst { cycles: c, repeat }) if accesses.is_empty() && *c == cycles => {
+                *repeat += 1;
+                true
+            }
+            Some(Block::Loop(lp))
+                if lp.lane_len as usize == accesses.len() && lp.cycles == cycles =>
+            {
+                let lanes =
+                    &mut self.lanes[lp.lane_start as usize..(lp.lane_start + lp.lane_len) as usize];
+                if lanes
+                    .iter()
+                    .zip(accesses)
+                    .any(|(l, &(_, write))| l.write != write)
+                {
+                    return false;
+                }
+                if lp.times == 1 {
+                    // Second round locks the strides.
+                    for (l, &(addr, _)) in lanes.iter_mut().zip(accesses) {
+                        l.stride = addr.wrapping_sub(l.base) as i64;
+                    }
+                    lp.times = 2;
+                    true
+                } else {
+                    let t = lp.times as i64;
+                    if lanes.iter().zip(accesses).all(|(l, &(addr, _))| {
+                        l.base.wrapping_add(l.stride.wrapping_mul(t) as u64) == addr
+                    }) {
+                        lp.times += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Appends a whole loop: `times` rounds of one access per lane
+    /// followed by `Compute(cycles)` — the structured fast path used
+    /// when lowering affine loop nests. A loop that seamlessly continues
+    /// the previous loop block (same shape, strides and cycles, bases
+    /// advanced by exactly `times * stride`) is merged into it.
+    pub fn push_loop(&mut self, lanes: &[Lane], times: u64, cycles: u64) {
+        if times == 0 {
+            return;
+        }
+        if lanes.is_empty() {
+            self.ops += times;
+            if let Some(Block::Burst { cycles: c, repeat }) = self.blocks.last_mut() {
+                if *c == cycles {
+                    *repeat += times;
+                    return;
+                }
+            }
+            self.blocks.push(Block::Burst {
+                cycles,
+                repeat: times,
+            });
+            return;
+        }
+        self.ops += times * (lanes.len() as u64 + 1);
+        if self.try_merge_loop(lanes, times, cycles) {
+            return;
+        }
+        let lane_start = self.lanes.len() as u32;
+        self.lanes.extend_from_slice(lanes);
+        if times == 1 {
+            // Canonical single-round form: strides are meaningless.
+            for l in &mut self.lanes[lane_start as usize..] {
+                l.stride = 0;
+            }
+        }
+        self.blocks.push(Block::Loop(LoopBlock {
+            times,
+            cycles,
+            lane_start,
+            lane_len: lanes.len() as u32,
+        }));
+    }
+
+    /// Tries to merge a structured loop into the last block.
+    fn try_merge_loop(&mut self, lanes: &[Lane], times: u64, cycles: u64) -> bool {
+        let Some(Block::Loop(lp)) = self.blocks.last_mut() else {
+            return false;
+        };
+        if lp.lane_len as usize != lanes.len() || lp.cycles != cycles {
+            return false;
+        }
+        let prev = &mut self.lanes[lp.lane_start as usize..(lp.lane_start + lp.lane_len) as usize];
+        if prev.iter().zip(lanes).any(|(p, l)| p.write != l.write) {
+            return false;
+        }
+        // The continuation stride: what the previous block's stride must
+        // be for the new loop's round 0 to be its round `times`.
+        let t = lp.times as i64;
+        let strides_continue = |strides: &[i64]| {
+            prev.iter()
+                .zip(lanes)
+                .zip(strides)
+                .all(|((p, l), &s)| p.base.wrapping_add(s.wrapping_mul(t) as u64) == l.base)
+        };
+        if lp.times == 1 {
+            // The previous block's strides are unlocked: adopt the new
+            // loop's strides if its bases sit one step after the
+            // previous bases (for times == 1 the new strides are free
+            // too — derive them from the base gap).
+            let derived: Vec<i64> = prev
+                .iter()
+                .zip(lanes)
+                .map(|(p, l)| l.base.wrapping_sub(p.base) as i64)
+                .collect();
+            let adopted: Vec<i64> = if times == 1 {
+                derived.clone()
+            } else {
+                lanes.iter().map(|l| l.stride).collect()
+            };
+            if adopted != derived {
+                return false;
+            }
+            for (p, s) in prev.iter_mut().zip(&adopted) {
+                p.stride = *s;
+            }
+            lp.times += times;
+            true
+        } else {
+            let prev_strides: Vec<i64> = prev.iter().map(|p| p.stride).collect();
+            if !strides_continue(&prev_strides) {
+                return false;
+            }
+            if times > 1 && prev.iter().zip(lanes).any(|(p, l)| p.stride != l.stride) {
+                return false;
+            }
+            lp.times += times;
+            true
+        }
+    }
+
+    /// Appends a standalone strided run (used for recorded access
+    /// streams that carry no compute ops).
+    pub fn push_run(&mut self, run: Run) {
+        if run.count == 0 {
+            return;
+        }
+        self.ops += run.count;
+        if let Some(Block::Run(prev)) = self.blocks.last_mut() {
+            if prev.write == run.write {
+                if prev.count == 1 && run.count == 1 {
+                    // Second access locks the stride.
+                    prev.stride = run.base.wrapping_sub(prev.base) as i64;
+                    prev.count = 2;
+                    return;
+                }
+                let next = prev
+                    .base
+                    .wrapping_add(prev.stride.wrapping_mul(prev.count as i64) as u64);
+                if next == run.base && (prev.stride == run.stride || run.count == 1) {
+                    prev.count += run.count;
+                    return;
+                }
+            }
+        }
+        self.blocks.push(Block::Run(run));
+    }
+
+    /// Finishes the build. Trailing accesses pushed via
+    /// [`ProgramBuilder::push_op`] (no closing `Compute`) are flushed as
+    /// strided [`Block::Run`]s.
+    pub fn finish(mut self) -> Program {
+        let pending = std::mem::take(&mut self.pending);
+        for &(addr, write) in &pending {
+            self.push_run(Run {
+                base: addr,
+                stride: 0,
+                count: 1,
+                write,
+            });
+        }
+        debug_assert_eq!(
+            self.ops,
+            self.blocks.iter().map(Block::ops).sum::<u64>(),
+            "op accounting drifted"
+        );
+        Program {
+            blocks: self.blocks,
+            lanes: self.lanes,
+            ops: self.ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode(p: &Program) -> Vec<TraceOp> {
+        p.iter().collect()
+    }
+
+    #[test]
+    fn op_stream_round_trips() {
+        let ops = vec![
+            TraceOp::read(0),
+            TraceOp::write(64),
+            TraceOp::compute(5),
+            TraceOp::read(4),
+            TraceOp::write(68),
+            TraceOp::compute(5),
+            TraceOp::read(8),
+            TraceOp::write(72),
+            TraceOp::compute(5),
+        ];
+        let mut b = ProgramBuilder::new();
+        for &op in &ops {
+            b.push_op(op);
+        }
+        let p = b.finish();
+        assert_eq!(decode(&p), ops);
+        // Three rounds RLE into one loop block.
+        assert_eq!(p.blocks().len(), 1);
+        assert_eq!(p.len_ops(), 9);
+    }
+
+    #[test]
+    fn structured_rows_merge_when_contiguous() {
+        // Two "rows" of 4 unit-stride accesses that are contiguous in
+        // memory: one block.
+        let mut b = ProgramBuilder::new();
+        for row in 0..2u64 {
+            b.push_loop(
+                &[Lane {
+                    base: row * 16,
+                    stride: 4,
+                    write: false,
+                }],
+                4,
+                1,
+            );
+        }
+        let p = b.finish();
+        assert_eq!(p.blocks().len(), 1, "{:?}", p.blocks());
+        assert_eq!(p.len_ops(), 16);
+        match p.blocks()[0] {
+            Block::Loop(lp) => assert_eq!(lp.times, 8),
+            ref b => panic!("expected loop, got {b:?}"),
+        }
+    }
+
+    #[test]
+    fn non_contiguous_rows_stay_separate() {
+        let mut b = ProgramBuilder::new();
+        for row in 0..2u64 {
+            b.push_loop(
+                &[Lane {
+                    base: row * 1024,
+                    stride: 4,
+                    write: false,
+                }],
+                4,
+                1,
+            );
+        }
+        let p = b.finish();
+        assert_eq!(p.blocks().len(), 2);
+    }
+
+    #[test]
+    fn bursts_and_trailing_accesses() {
+        let mut b = ProgramBuilder::new();
+        b.push_op(TraceOp::compute(7));
+        b.push_op(TraceOp::compute(7));
+        b.push_op(TraceOp::read(0));
+        b.push_op(TraceOp::read(4));
+        b.push_op(TraceOp::read(8));
+        let p = b.finish();
+        assert_eq!(
+            decode(&p),
+            vec![
+                TraceOp::compute(7),
+                TraceOp::compute(7),
+                TraceOp::read(0),
+                TraceOp::read(4),
+                TraceOp::read(8),
+            ]
+        );
+        assert_eq!(p.blocks().len(), 2); // Burst{7,2} + Run{0,+4,3}
+        match p.blocks()[1] {
+            Block::Run(r) => {
+                assert_eq!((r.stride, r.count), (4, 3));
+            }
+            ref blk => panic!("expected run, got {blk:?}"),
+        }
+    }
+
+    #[test]
+    fn write_flag_breaks_rle() {
+        let mut b = ProgramBuilder::new();
+        b.push_round(&[(0, false)], 1);
+        b.push_round(&[(4, true)], 1);
+        let p = b.finish();
+        assert_eq!(p.blocks().len(), 2);
+        assert_eq!(
+            decode(&p),
+            vec![
+                TraceOp::read(0),
+                TraceOp::compute(1),
+                TraceOp::write(4),
+                TraceOp::compute(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn stride_break_splits_loops() {
+        let mut b = ProgramBuilder::new();
+        b.push_round(&[(0, false)], 1);
+        b.push_round(&[(4, false)], 1);
+        b.push_round(&[(8, false)], 1);
+        b.push_round(&[(100, false)], 1); // breaks the +4 pattern
+        let p = b.finish();
+        assert_eq!(p.blocks().len(), 2);
+        assert_eq!(p.len_ops(), 8);
+    }
+}

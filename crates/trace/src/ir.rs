@@ -1,0 +1,219 @@
+//! The stride-run trace IR: programs, blocks and lanes.
+
+use lams_mpsoc::TraceStats;
+
+/// A standalone strided run: `count` consecutive accesses at `base`,
+/// `base + stride`, … with nothing in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// Address of the first access.
+    pub base: u64,
+    /// Per-access address increment (may be negative or zero).
+    pub stride: i64,
+    /// Number of accesses.
+    pub count: u64,
+    /// Whether the accesses are stores.
+    pub write: bool,
+}
+
+/// One access lane of a [`Block::Loop`]: in round `r` of the loop the
+/// lane emits an access at `base + r * stride`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lane {
+    /// Address accessed in round 0.
+    pub base: u64,
+    /// Per-round address increment. Irrelevant (and canonically zero)
+    /// when the owning loop runs a single round.
+    pub stride: i64,
+    /// Whether the lane's accesses are stores.
+    pub write: bool,
+}
+
+/// A run-length-encoded innermost loop: `times` rounds, each emitting
+/// one access per lane (in lane order) followed by one
+/// `Compute(cycles)` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopBlock {
+    /// Number of rounds.
+    pub times: u64,
+    /// Cycles of the compute op closing each round.
+    pub cycles: u64,
+    /// Start of the loop's lanes in [`Program::lanes`].
+    pub lane_start: u32,
+    /// Number of lanes (`> 0`; access-free loops are encoded as
+    /// [`Block::Burst`]).
+    pub lane_len: u32,
+}
+
+/// One block of a trace program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Block {
+    /// A standalone strided access run.
+    Run(Run),
+    /// `repeat` consecutive `Compute(cycles)` ops.
+    Burst {
+        /// Cycles per compute op.
+        cycles: u64,
+        /// Number of compute ops.
+        repeat: u64,
+    },
+    /// An RLE'd innermost loop of interleaved accesses and computes.
+    Loop(LoopBlock),
+}
+
+impl Block {
+    /// Number of trace ops the block decodes to.
+    pub fn ops(&self) -> u64 {
+        match *self {
+            Block::Run(Run { count, .. }) => count,
+            Block::Burst { repeat, .. } => repeat,
+            Block::Loop(lp) => lp.times * (lp.lane_len as u64 + 1),
+        }
+    }
+}
+
+/// A compiled trace program: a compact block sequence whose decoded op
+/// stream ([`Program::iter`]) is **exactly** the trace it was compiled
+/// or recorded from, op for op.
+///
+/// Programs are built by [`crate::ProgramBuilder`] (either from a raw
+/// op stream or from structured loop pushes), executed batchwise
+/// through [`crate::Cursor`] (a [`lams_mpsoc::TraceSource`]), and
+/// serialized in the `.ltr` binary format (see `docs/trace-format.md`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) lanes: Vec<Lane>,
+    pub(crate) ops: u64,
+}
+
+impl Program {
+    /// An empty program (decodes to no ops).
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// The block sequence.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The lane arena (loops reference sub-slices of it).
+    pub fn lanes(&self) -> &[Lane] {
+        &self.lanes
+    }
+
+    /// The lanes of one loop block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block's lane range is out of bounds (impossible
+    /// for programs built by [`crate::ProgramBuilder`] or decoded from a
+    /// validated `.ltr` file).
+    pub fn lanes_of(&self, lp: &LoopBlock) -> &[Lane] {
+        &self.lanes[lp.lane_start as usize..(lp.lane_start + lp.lane_len) as usize]
+    }
+
+    /// Total number of trace ops the program decodes to.
+    pub fn len_ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whether the program decodes to no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops == 0
+    }
+
+    /// Decodes the program into its trace-op stream.
+    pub fn iter(&self) -> crate::Cursor<'_> {
+        crate::Cursor::new(self)
+    }
+
+    /// Summary statistics of the decoded stream, computed arithmetically
+    /// from the blocks (no decoding).
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        for b in &self.blocks {
+            match *b {
+                Block::Run(r) => {
+                    s.accesses += r.count;
+                    if r.write {
+                        s.writes += r.count;
+                    }
+                }
+                Block::Burst { cycles, repeat } => s.compute_cycles += cycles * repeat,
+                Block::Loop(lp) => {
+                    s.accesses += lp.times * lp.lane_len as u64;
+                    s.writes +=
+                        lp.times * self.lanes_of(&lp).iter().filter(|l| l.write).count() as u64;
+                    s.compute_cycles += lp.times * lp.cycles;
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_op_counts() {
+        assert_eq!(
+            Block::Run(Run {
+                base: 0,
+                stride: 4,
+                count: 7,
+                write: false
+            })
+            .ops(),
+            7
+        );
+        assert_eq!(
+            Block::Burst {
+                cycles: 2,
+                repeat: 3
+            }
+            .ops(),
+            3
+        );
+        assert_eq!(
+            Block::Loop(LoopBlock {
+                times: 5,
+                cycles: 1,
+                lane_start: 0,
+                lane_len: 2
+            })
+            .ops(),
+            15
+        );
+    }
+
+    #[test]
+    fn stats_are_arithmetic() {
+        let mut p = crate::ProgramBuilder::new();
+        p.push_loop(
+            &[
+                Lane {
+                    base: 0,
+                    stride: 4,
+                    write: false,
+                },
+                Lane {
+                    base: 1024,
+                    stride: 4,
+                    write: true,
+                },
+            ],
+            10,
+            3,
+        );
+        let p = p.finish();
+        let s = p.stats();
+        assert_eq!(s.accesses, 20);
+        assert_eq!(s.writes, 10);
+        assert_eq!(s.compute_cycles, 30);
+        assert_eq!(s, TraceStats::from_trace(p.iter()));
+    }
+}

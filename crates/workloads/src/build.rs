@@ -250,6 +250,59 @@ impl Workload {
     pub fn trace<'a>(&'a self, p: ProcessId, layout: &'a Layout) -> Trace<'a> {
         Trace::new(self.resolved(p), layout)
     }
+
+    /// Total trace ops across all processes — the up-front job weight
+    /// the sweep scheduler's longest-job-first ordering uses.
+    pub fn total_trace_ops(&self) -> u64 {
+        self.process_ids().map(|p| self.trace_len(p)).sum()
+    }
+
+    /// Compiles the process's trace into the stride-run IR against
+    /// `layout`. The program's decoded op stream equals
+    /// [`Workload::trace`] op for op: box spaces lower analytically
+    /// (with runs split at half-page chunk crossings for remapped
+    /// arrays), membership-constrained spaces stream through the RLE
+    /// recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is out of range.
+    pub fn compile_trace(&self, p: ProcessId, layout: &Layout) -> lams_trace::Program {
+        crate::compile::compile(self.resolved(p), layout)
+    }
+
+    /// Compiles every process's trace (index = process id) — the form
+    /// the IR-mode engine executes.
+    pub fn compile_traces(&self, layout: &Layout) -> Vec<lams_trace::Program> {
+        self.process_ids()
+            .map(|p| self.compile_trace(p, layout))
+            .collect()
+    }
+
+    /// Records the workload as a [`lams_trace::TraceBundle`]: every
+    /// process's compiled trace plus the dependence edges — everything
+    /// needed to replay it (`.ltr` record/replay) through the full
+    /// policy stack without the workload's symbolic description.
+    pub fn record(&self, layout: &Layout) -> lams_trace::TraceBundle {
+        let records = self
+            .process_ids()
+            .map(|p| lams_trace::TraceRecord {
+                name: self.resolved(p).name.clone(),
+                program: self.compile_trace(p, layout),
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for p in self.process_ids() {
+            for s in self.epg.succs(p).expect("process in graph") {
+                edges.push((p.index(), s.index()));
+            }
+        }
+        lams_trace::TraceBundle {
+            name: self.name.clone(),
+            records,
+            edges,
+        }
+    }
 }
 
 impl fmt::Display for Workload {

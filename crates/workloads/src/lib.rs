@@ -47,6 +47,7 @@
 
 mod apps;
 mod build;
+mod compile;
 mod error;
 mod prog;
 mod scale;

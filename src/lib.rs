@@ -9,6 +9,8 @@
 //! * [`presburger`] — affine sets and exact footprint algebra (Section 2),
 //! * [`procgraph`] — process graphs and extended process graphs,
 //! * [`mpsoc`] — the MPSoC simulator substrate (cores, caches, memory),
+//! * [`trace`] — the compiled stride-run trace IR and the `.ltr` binary
+//!   record/replay format,
 //! * [`layout`] — conflict analysis and the Figure 4/5 data re-layout,
 //! * [`workloads`] — the six Table 1 applications and the Figure 1 example,
 //! * [`core`] — the sharing matrix, the four schedulers (RS / RRS / LS /
@@ -38,4 +40,5 @@ pub use lams_layout as layout;
 pub use lams_mpsoc as mpsoc;
 pub use lams_presburger as presburger;
 pub use lams_procgraph as procgraph;
+pub use lams_trace as trace;
 pub use lams_workloads as workloads;

@@ -131,6 +131,7 @@ fn quantum_override_is_honoured() {
     let cfg = EngineConfig {
         machine: MachineConfig::paper_default(),
         quantum_override: Some(100),
+        trace_mode: lams::core::TraceMode::default(),
     };
     let r = execute(&w, &layout, &mut p, cfg).unwrap();
     // The single process takes ~900 cycles of work, so an enforced
