@@ -8,8 +8,12 @@
 //! compiled-IR trace mode (the fig6-style win), trace-generation
 //! micro-benches, and `.ltr` encode/decode throughput.
 //!
+//! Since PR 4 it also times an LSM-heavy matrix with the artifact memo
+//! disabled vs shared and writes `BENCH_memo.json` (hit/miss counters,
+//! hit rate, cached-vs-uncached wall-clock).
+//!
 //! Usage:
-//! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json] [trace.json]`
+//! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json] [trace.json] [memo.json]`
 //!
 //! The makespan checksum must stay constant across perf PRs (bit-identical
 //! simulation results); the throughput numbers are expected to move.
@@ -18,8 +22,8 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use lams_core::{
-    execute, EngineConfig, Experiment, LocalityPolicy, PolicyKind, ScenarioMatrix, SharingMatrix,
-    SweepRunner, TraceMode,
+    execute, ArtifactCache, EngineConfig, Experiment, LocalityPolicy, MemoStats, PolicyKind,
+    ScenarioMatrix, SharingMatrix, SweepRunner, TraceMode,
 };
 use lams_layout::Layout;
 use lams_mpsoc::{Cache, CacheConfig, MachineConfig};
@@ -132,7 +136,7 @@ fn trace_bench() -> TraceBench {
     let programs = w.compile_traces(&layout);
     let decode_ns = time_ns(
         || {
-            for p in &programs {
+            for p in programs.iter() {
                 black_box(p.iter().count());
             }
         },
@@ -224,6 +228,79 @@ fn sweep_matrix() -> ScenarioMatrix {
     m
 }
 
+/// The LSM-heavy matrix `BENCH_memo.json` times: the `|T|` = 2 and 3
+/// concurrent mixes at Tiny scale under all four policies. LSM's pilot
+/// plus candidate ladder re-simulates each workload several times and
+/// every policy shares the workload's compiled traces — exactly the
+/// redundancy the artifact memo removes.
+fn memo_matrix() -> ScenarioMatrix {
+    let machine = MachineConfig::paper_default();
+    let mut m = ScenarioMatrix::new();
+    for t in 2..=3 {
+        let apps = suite::mix(t, Scale::Tiny);
+        let exp = Experiment::concurrent(&apps, machine).with_seed(12345);
+        m.push_all(format!("mix{t}"), &exp, PolicyKind::ALL);
+    }
+    m
+}
+
+struct MemoBench {
+    jobs: usize,
+    groups: usize,
+    uncached_ms: f64,
+    cached_ms: f64,
+    speedup: f64,
+    stats: MemoStats,
+    identical: bool,
+}
+
+/// Times the LSM-heavy matrix with the memo disabled (the pre-memo
+/// path: every job recompiles traces and rebuilds sharing/pilot state)
+/// vs a fresh shared cache per run, asserting the reports stay
+/// byte-identical.
+fn memo_bench(samples: usize) -> MemoBench {
+    let matrix = memo_matrix();
+    let runner = SweepRunner::sequential();
+    let mut uncached_csv = String::new();
+    let uncached_ns = time_ns(
+        || {
+            let reports = matrix
+                .run_with_memo(&runner, &ArtifactCache::disabled())
+                .expect("uncached sweep runs");
+            uncached_csv = reports.iter().map(|r| r.to_csv()).collect();
+            black_box(&uncached_csv);
+        },
+        1,
+        samples,
+    );
+    let mut cached_csv = String::new();
+    let mut stats = MemoStats::default();
+    let cached_ns = time_ns(
+        || {
+            // A fresh cache per sample: the measured win is intra-matrix
+            // reuse, not warm-start carry-over between samples.
+            let memo = ArtifactCache::shared();
+            let reports = matrix
+                .run_with_memo(&runner, &memo)
+                .expect("cached sweep runs");
+            cached_csv = reports.iter().map(|r| r.to_csv()).collect();
+            stats = memo.stats();
+            black_box(&cached_csv);
+        },
+        1,
+        samples,
+    );
+    MemoBench {
+        jobs: matrix.len(),
+        groups: matrix.groups().len(),
+        uncached_ms: uncached_ns / 1e6,
+        cached_ms: cached_ns / 1e6,
+        speedup: uncached_ns / cached_ns,
+        stats,
+        identical: uncached_csv == cached_csv,
+    }
+}
+
 struct SweepBenchRun {
     threads: usize,
     wall_ms: f64,
@@ -285,6 +362,9 @@ fn main() {
     let trace_out = std::env::args()
         .nth(3)
         .unwrap_or_else(|| "BENCH_trace.json".to_string());
+    let memo_out = std::env::args()
+        .nth(4)
+        .unwrap_or_else(|| "BENCH_memo.json".to_string());
 
     eprintln!("bench_summary: cache micro-benches...");
     let plain = cache_melems_per_s(false);
@@ -457,4 +537,43 @@ fn main() {
     tj.push_str("}\n");
     std::fs::write(&trace_out, tj).expect("write trace summary");
     eprintln!("bench_summary: wrote {trace_out}");
+
+    eprintln!("bench_summary: artifact-memo bench (LSM-heavy Tiny mixes)...");
+    let mb = memo_bench(5);
+    assert!(mb.identical, "cached and uncached sweep reports diverged");
+    let s = mb.stats;
+    eprintln!(
+        "  matrix           {} jobs / {} groups: uncached {:.3} ms vs cached {:.3} ms ({:.2}x)",
+        mb.jobs, mb.groups, mb.uncached_ms, mb.cached_ms, mb.speedup
+    );
+    eprintln!("  memo             {s}");
+
+    let mut mj = String::new();
+    mj.push_str("{\n");
+    mj.push_str("  \"schema\": 1,\n");
+    mj.push_str("  \"matrix\": {\"style\": \"lsm-mixes\", \"scale\": \"tiny\", ");
+    mj.push_str(&format!(
+        "\"jobs\": {}, \"groups\": {}}},\n",
+        mb.jobs, mb.groups
+    ));
+    mj.push_str(&format!("  \"uncached_ms\": {:.4},\n", mb.uncached_ms));
+    mj.push_str(&format!("  \"cached_ms\": {:.4},\n", mb.cached_ms));
+    mj.push_str(&format!("  \"speedup\": {:.3},\n", mb.speedup));
+    mj.push_str(&format!("  \"reports_identical\": {},\n", mb.identical));
+    mj.push_str("  \"memo\": {\n");
+    mj.push_str(&format!("    \"hits\": {},\n", s.hits()));
+    mj.push_str(&format!("    \"misses\": {},\n", s.misses()));
+    mj.push_str(&format!("    \"hit_rate\": {:.4},\n", s.hit_rate()));
+    mj.push_str(&format!("    \"program_hits\": {},\n", s.program_hits));
+    mj.push_str(&format!("    \"program_misses\": {},\n", s.program_misses));
+    mj.push_str(&format!("    \"sharing_hits\": {},\n", s.sharing_hits));
+    mj.push_str(&format!("    \"sharing_misses\": {},\n", s.sharing_misses));
+    mj.push_str(&format!("    \"pilot_hits\": {},\n", s.pilot_hits));
+    mj.push_str(&format!("    \"pilot_misses\": {},\n", s.pilot_misses));
+    mj.push_str(&format!("    \"weight_hits\": {},\n", s.weight_hits));
+    mj.push_str(&format!("    \"weight_misses\": {}\n", s.weight_misses));
+    mj.push_str("  }\n");
+    mj.push_str("}\n");
+    std::fs::write(&memo_out, mj).expect("write memo summary");
+    eprintln!("bench_summary: wrote {memo_out}");
 }

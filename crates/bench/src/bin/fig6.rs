@@ -16,7 +16,7 @@
 //! ASCII bar chart shaped like the paper's figure.
 
 use lams_bench::{bar_chart, csv_table, parse_scale_or, parse_threads};
-use lams_core::{Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
+use lams_core::{ArtifactCache, Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
 use lams_mpsoc::MachineConfig;
 use lams_workloads::{suite, Scale};
 
@@ -41,10 +41,21 @@ fn main() {
             PolicyKind::ALL,
         );
     }
-    let reports = matrix.run(&runner).expect("simulation succeeds");
+    // One artifact memo across the whole matrix: jobs sharing a
+    // workload reuse compiled traces, sharing matrices and the LS
+    // pilot. CI asserts the `memo` line below reports a nonzero hit
+    // count on the Tiny smoke run.
+    let memo = ArtifactCache::shared();
+    let reports = matrix
+        .run_with_memo(&runner, &memo)
+        .expect("simulation succeeds");
     // One report per app: a duplicated group label would merge reports
     // and silently misalign the rows below.
     assert_eq!(reports.len(), apps.len(), "app names must be unique");
+    // Stderr, not stdout: hit/miss counts depend on how concurrent
+    // workers raced on cold slots, and stdout must stay byte-identical
+    // for any --threads N.
+    eprintln!("memo {}", memo.stats());
 
     let mut rows = Vec::new();
     let mut series: Vec<(&str, Vec<f64>)> = PolicyKind::ALL

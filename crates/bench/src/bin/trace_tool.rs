@@ -17,6 +17,14 @@
 //!   back via `TraceOp::from_str`).
 //! * `stats   FILE` — per-process op counts, block counts, and the
 //!   IR's compression ratio over the decoded stream.
+//!
+//! # Error handling
+//!
+//! Every subcommand returns `Result`: malformed flags and unknown names
+//! are *usage* errors (exit 2, with the usage text), while I/O,
+//! truncated/corrupt bundles and engine failures are *runtime* errors
+//! (exit 1) — always a contextful one-line message on stderr, never a
+//! panic backtrace.
 
 use std::process::exit;
 
@@ -29,7 +37,34 @@ use lams_mpsoc::MachineConfig;
 use lams_trace::TraceBundle;
 use lams_workloads::{suite, Workload};
 
-use lams_bench::{parse_scale, parse_usize_flag};
+use lams_bench::scale_from_str;
+
+/// A failed subcommand: usage errors reprint the usage text and exit 2,
+/// runtime errors exit 1. Both print `error: <context>` on stderr.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    fn runtime(msg: impl Into<String>) -> Self {
+        CliError::Runtime(msg.into())
+    }
+}
+
+type CliResult<T> = Result<T, CliError>;
+
+const USAGE: &str = "usage: trace_tool <record|replay|run|inspect|stats> ...\n\
+                     \n\
+                     record  --app NAME|--mix N [--scale S] [--out FILE]\n\
+                     replay  FILE [--policy rs|rrs|ls] [--cores N] [--seed N] [--quantum N]\n\
+                     run     --app NAME|--mix N [--scale S] [--policy rs|rrs|ls] [--cores N] [--seed N] [--quantum N]\n\
+                     inspect FILE [--proc I] [--limit N]\n\
+                     stats   FILE";
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -38,59 +73,74 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: trace_tool <record|replay|run|inspect|stats> ...\n\
-         \n\
-         record  --app NAME|--mix N [--scale S] [--out FILE]\n\
-         replay  FILE [--policy rs|rrs|ls] [--cores N] [--seed N] [--quantum N]\n\
-         run     --app NAME|--mix N [--scale S] [--policy rs|rrs|ls] [--cores N] [--seed N] [--quantum N]\n\
-         inspect FILE [--proc I] [--limit N]\n\
-         stats   FILE"
-    );
-    exit(2);
+/// `--name N` as a number: the default when absent, a usage error when
+/// present but malformed (a typo must not silently run the default).
+fn num_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> CliResult<T> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("{name} expects a number, got '{v}'"))),
+    }
 }
 
 /// The workload named by `--app`/`--mix` at `--scale`.
-fn workload_from_args(args: &[String]) -> Workload {
-    let scale = parse_scale(args);
+fn workload_from_args(args: &[String]) -> CliResult<Workload> {
+    let scale = match flag(args, "--scale") {
+        None => lams_workloads::Scale::Small,
+        Some(v) => scale_from_str(v).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown --scale '{v}' (expected tiny|small|paper|large|huge)"
+            ))
+        })?,
+    };
     if let Some(name) = flag(args, "--app") {
-        let Some(app) = suite::by_name(name, scale) else {
-            eprintln!("error: unknown --app '{name}'");
-            exit(2);
-        };
-        return Workload::single(app).expect("suite app is valid");
+        let app = suite::by_name(name, scale)
+            .ok_or_else(|| CliError::usage(format!("unknown --app '{name}'")))?;
+        return Workload::single(app)
+            .map_err(|e| CliError::runtime(format!("building workload '{name}': {e}")));
     }
     if let Some(t) = flag(args, "--mix") {
-        let t: usize = t.parse().unwrap_or_else(|_| {
-            eprintln!("error: --mix expects a number");
-            exit(2);
-        });
-        return Workload::concurrent(suite::mix(t, scale)).expect("suite mix is valid");
+        let t: usize = t
+            .parse()
+            .map_err(|_| CliError::usage(format!("--mix expects a number, got '{t}'")))?;
+        if !(1..=suite::NAMES.len()).contains(&t) {
+            return Err(CliError::usage(format!(
+                "--mix must be in 1..={}, got {t}",
+                suite::NAMES.len()
+            )));
+        }
+        return Workload::concurrent(suite::mix(t, scale))
+            .map_err(|e| CliError::runtime(format!("building mix |T|={t}: {e}")));
     }
-    eprintln!("error: need --app NAME or --mix N");
-    exit(2);
+    Err(CliError::usage("need --app NAME or --mix N"))
 }
 
-fn machine_from_args(args: &[String]) -> MachineConfig {
-    MachineConfig::paper_default().with_cores(parse_usize_flag(args, "--cores", 8).max(1))
+fn machine_from_args(args: &[String]) -> CliResult<MachineConfig> {
+    let cores = num_flag(args, "--cores", 8usize)?;
+    if cores == 0 {
+        return Err(CliError::usage("--cores must be at least 1"));
+    }
+    Ok(MachineConfig::paper_default().with_cores(cores))
 }
 
 /// Builds the requested policy; `sharing` supplies LS's matrix (from
 /// the workload when running directly, from the bundle when replaying —
 /// identical for recorded bundles, see `SharingMatrix::from_bundle`).
-fn policy_from_args(args: &[String], sharing: impl FnOnce() -> SharingMatrix) -> Box<dyn Policy> {
-    let cores = parse_usize_flag(args, "--cores", 8).max(1);
-    let seed = parse_usize_flag(args, "--seed", 12345) as u64;
-    let quantum = parse_usize_flag(args, "--quantum", 50_000) as u64;
+fn policy_from_args(
+    args: &[String],
+    sharing: impl FnOnce() -> SharingMatrix,
+) -> CliResult<Box<dyn Policy>> {
+    let cores = num_flag(args, "--cores", 8usize)?.max(1);
+    let seed = num_flag(args, "--seed", 12_345u64)?;
+    let quantum = num_flag(args, "--quantum", 50_000u64)?;
     match flag(args, "--policy").unwrap_or("ls") {
-        "rs" => Box::new(RandomPolicy::new(seed)),
-        "rrs" => Box::new(RoundRobinPolicy::new(quantum)),
-        "ls" => Box::new(LocalityPolicy::new(sharing(), cores)),
-        p => {
-            eprintln!("error: unknown --policy '{p}' (expected rs|rrs|ls)");
-            exit(2);
-        }
+        "rs" => Ok(Box::new(RandomPolicy::new(seed))),
+        "rrs" => Ok(Box::new(RoundRobinPolicy::new(quantum))),
+        "ls" => Ok(Box::new(LocalityPolicy::new(sharing(), cores))),
+        p => Err(CliError::usage(format!(
+            "unknown --policy '{p}' (expected rs|rrs|ls)"
+        ))),
     }
 }
 
@@ -121,109 +171,151 @@ fn print_report(name: &str, policy: &str, machine: &MachineConfig, r: &RunResult
     }
 }
 
-fn read_bundle(path: &str) -> TraceBundle {
-    TraceBundle::read_file(path).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        exit(1);
-    })
+fn read_bundle(path: &str) -> CliResult<TraceBundle> {
+    TraceBundle::read_file(path).map_err(|e| CliError::runtime(format!("reading {path}: {e}")))
+}
+
+/// First positional (non-flag) argument: the bundle path of
+/// `replay`/`inspect`/`stats`.
+fn path_arg<'a>(args: &'a [String], cmd: &str) -> CliResult<&'a str> {
+    args.first()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::usage(format!("{cmd} needs a FILE argument")))
+}
+
+fn cmd_record(rest: &[String]) -> CliResult<()> {
+    let w = workload_from_args(rest)?;
+    let layout = Layout::linear(w.arrays());
+    let out = flag(rest, "--out").unwrap_or("trace.ltr");
+    let bundle = w.record(&layout);
+    let bytes = bundle.to_bytes();
+    std::fs::write(out, &bytes).map_err(|e| CliError::runtime(format!("writing {out}: {e}")))?;
+    eprintln!(
+        "recorded {}: {} processes, {} edges, {} ops -> {} bytes ({:.2} bits/op)",
+        out,
+        bundle.records.len(),
+        bundle.edges.len(),
+        bundle.total_ops(),
+        bytes.len(),
+        bytes.len() as f64 * 8.0 / bundle.total_ops().max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_replay(rest: &[String]) -> CliResult<()> {
+    let path = path_arg(rest, "replay")?;
+    let bundle = read_bundle(path)?;
+    let machine = machine_from_args(rest)?;
+    let mut policy = policy_from_args(rest, || SharingMatrix::from_bundle(&bundle))?;
+    let r = execute_bundle(&bundle, policy.as_mut(), machine)
+        .map_err(|e| CliError::runtime(format!("replaying {path}: {e}")))?;
+    print_report(&bundle.name, policy.name(), &machine, &r);
+    Ok(())
+}
+
+fn cmd_run(rest: &[String]) -> CliResult<()> {
+    let w = workload_from_args(rest)?;
+    let layout = Layout::linear(w.arrays());
+    let machine = machine_from_args(rest)?;
+    let mut policy = policy_from_args(rest, || SharingMatrix::from_workload(&w))?;
+    let r = execute(&w, &layout, policy.as_mut(), machine)
+        .map_err(|e| CliError::runtime(format!("simulating {}: {e}", w.name())))?;
+    print_report(w.name(), policy.name(), &machine, &r);
+    Ok(())
+}
+
+fn cmd_inspect(rest: &[String]) -> CliResult<()> {
+    let path = path_arg(rest, "inspect")?;
+    let bundle = read_bundle(path)?;
+    let limit: u64 = num_flag(rest, "--limit", 64u64)?;
+    let only: Option<usize> =
+        match flag(rest, "--proc") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| {
+                CliError::usage(format!("--proc expects a process index, got '{v}'"))
+            })?),
+        };
+    if let Some(p) = only {
+        if p >= bundle.records.len() {
+            return Err(CliError::runtime(format!(
+                "{path} has {} processes, --proc {p} is out of range",
+                bundle.records.len()
+            )));
+        }
+    }
+    for (i, rec) in bundle.records.iter().enumerate() {
+        if only.is_some_and(|p| p != i) {
+            continue;
+        }
+        println!(
+            "# proc {i} {} ({} ops, {} blocks)",
+            rec.name,
+            rec.program.len_ops(),
+            rec.program.blocks().len()
+        );
+        for op in rec.program.iter().take(limit as usize) {
+            println!("{op}");
+        }
+        if rec.program.len_ops() > limit {
+            println!("# ... {} more ops", rec.program.len_ops() - limit);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(rest: &[String]) -> CliResult<()> {
+    let path = path_arg(rest, "stats")?;
+    let bundle = read_bundle(path)?;
+    println!(
+        "bundle {} ({} processes, {} edges, {} ops)",
+        bundle.name,
+        bundle.records.len(),
+        bundle.edges.len(),
+        bundle.total_ops()
+    );
+    for (i, rec) in bundle.records.iter().enumerate() {
+        let s = rec.program.stats();
+        println!(
+            "proc {i} {}: ops {} (accesses {} writes {} compute_cycles {}), {} blocks, {:.1}x compression",
+            rec.name,
+            rec.program.len_ops(),
+            s.accesses,
+            s.writes,
+            s.compute_cycles,
+            rec.program.blocks().len(),
+            rec.program.len_ops() as f64 / rec.program.blocks().len().max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+fn dispatch(args: &[String]) -> CliResult<()> {
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return Err(CliError::usage("missing subcommand"));
+    };
+    let rest = &args[1..];
+    match cmd {
+        "record" => cmd_record(rest),
+        "replay" => cmd_replay(rest),
+        "run" => cmd_run(rest),
+        "inspect" => cmd_inspect(rest),
+        "stats" => cmd_stats(rest),
+        _ => Err(CliError::usage(format!("unknown subcommand '{cmd}'"))),
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first().map(String::as_str) else {
-        usage();
-    };
-    let rest = &args[1..];
-    match cmd {
-        "record" => {
-            let w = workload_from_args(rest);
-            let layout = Layout::linear(w.arrays());
-            let out = flag(rest, "--out").unwrap_or("trace.ltr");
-            let bundle = w.record(&layout);
-            let bytes = bundle.to_bytes();
-            std::fs::write(out, &bytes).unwrap_or_else(|e| {
-                eprintln!("error: writing {out}: {e}");
-                exit(1);
-            });
-            eprintln!(
-                "recorded {}: {} processes, {} edges, {} ops -> {} bytes ({:.2} bits/op)",
-                out,
-                bundle.records.len(),
-                bundle.edges.len(),
-                bundle.total_ops(),
-                bytes.len(),
-                bytes.len() as f64 * 8.0 / bundle.total_ops().max(1) as f64
-            );
+    match dispatch(&args) {
+        Ok(()) => {}
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            exit(2);
         }
-        "replay" => {
-            let Some(path) = rest.first() else { usage() };
-            let bundle = read_bundle(path);
-            let machine = machine_from_args(rest);
-            let mut policy = policy_from_args(rest, || SharingMatrix::from_bundle(&bundle));
-            let r = execute_bundle(&bundle, policy.as_mut(), machine).unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                exit(1);
-            });
-            print_report(&bundle.name, policy.name(), &machine, &r);
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            exit(1);
         }
-        "run" => {
-            let w = workload_from_args(rest);
-            let layout = Layout::linear(w.arrays());
-            let machine = machine_from_args(rest);
-            let mut policy = policy_from_args(rest, || SharingMatrix::from_workload(&w));
-            let r = execute(&w, &layout, policy.as_mut(), machine).unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                exit(1);
-            });
-            print_report(w.name(), policy.name(), &machine, &r);
-        }
-        "inspect" => {
-            let Some(path) = rest.first() else { usage() };
-            let bundle = read_bundle(path);
-            let limit = parse_usize_flag(rest, "--limit", 64) as u64;
-            let only: Option<usize> = flag(rest, "--proc").and_then(|v| v.parse().ok());
-            for (i, rec) in bundle.records.iter().enumerate() {
-                if only.is_some_and(|p| p != i) {
-                    continue;
-                }
-                println!(
-                    "# proc {i} {} ({} ops, {} blocks)",
-                    rec.name,
-                    rec.program.len_ops(),
-                    rec.program.blocks().len()
-                );
-                for op in rec.program.iter().take(limit as usize) {
-                    println!("{op}");
-                }
-                if rec.program.len_ops() > limit {
-                    println!("# ... {} more ops", rec.program.len_ops() - limit);
-                }
-            }
-        }
-        "stats" => {
-            let Some(path) = rest.first() else { usage() };
-            let bundle = read_bundle(path);
-            println!(
-                "bundle {} ({} processes, {} edges, {} ops)",
-                bundle.name,
-                bundle.records.len(),
-                bundle.edges.len(),
-                bundle.total_ops()
-            );
-            for (i, rec) in bundle.records.iter().enumerate() {
-                let s = rec.program.stats();
-                println!(
-                    "proc {i} {}: ops {} (accesses {} writes {} compute_cycles {}), {} blocks, {:.1}x compression",
-                    rec.name,
-                    rec.program.len_ops(),
-                    s.accesses,
-                    s.writes,
-                    s.compute_cycles,
-                    rec.program.blocks().len(),
-                    rec.program.len_ops() as f64 / rec.program.blocks().len().max(1) as f64
-                );
-            }
-        }
-        _ => usage(),
     }
 }

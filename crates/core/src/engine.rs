@@ -217,6 +217,10 @@ struct Running<'a> {
 /// [`TraceMode::Scalar`] the one-op-at-a-time iterator feeds the cores.
 /// Results are bit-identical either way.
 ///
+/// Compilation happens per call; use [`execute_cached`] to share one
+/// compiled program set across runs (the LSM candidate ladder and
+/// policy-dense sweep matrices re-execute each workload many times).
+///
 /// The engine maintains one clock per core and always advances the busy
 /// core with the smallest local clock, so cross-core interactions (the
 /// optional shared bus) are simulated in correct global-time order.
@@ -244,6 +248,44 @@ pub fn execute(
         ),
         TraceMode::Ir => {
             let programs = workload.compile_traces(layout);
+            run_engine(
+                workload.epg(),
+                |p| Feed::Ir(Cursor::new(&programs[p.as_usize()])),
+                policy,
+                config,
+            )
+        }
+    }
+}
+
+/// [`execute`] with the compiled trace programs served from `memo`
+/// ([`crate::memo::ArtifactCache`]): in [`TraceMode::Ir`] the program
+/// set for `(workload, layout)` is compiled at most once per cache and
+/// shared (`Arc`) across every subsequent run — sweep jobs, LSM ladder
+/// candidates, repeated policy comparisons. Results are bit-identical
+/// to [`execute`] for any thread count; only the compile work is
+/// shared, never simulation state.
+///
+/// # Errors
+///
+/// As for [`execute`].
+pub fn execute_cached(
+    workload: &Workload,
+    layout: &Layout,
+    policy: &mut dyn Policy,
+    config: impl Into<EngineConfig>,
+    memo: &crate::memo::ArtifactCache,
+) -> Result<RunResult> {
+    let config: EngineConfig = config.into();
+    match config.trace_mode {
+        TraceMode::Scalar => run_engine(
+            workload.epg(),
+            |p| Feed::Scalar(workload.trace(p, layout)),
+            policy,
+            config,
+        ),
+        TraceMode::Ir => {
+            let programs = memo.programs(workload, layout);
             run_engine(
                 workload.epg(),
                 |p| Feed::Ir(Cursor::new(&programs[p.as_usize()])),

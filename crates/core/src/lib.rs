@@ -32,7 +32,12 @@
 //! * [`sweep`] — the scenario-matrix subsystem: [`ScenarioMatrix`]
 //!   enumerates independent (workload × machine × policy × knob) jobs
 //!   and [`SweepRunner`] executes them across scoped threads with
-//!   results bit-identical to sequential execution.
+//!   results bit-identical to sequential execution,
+//! * [`memo`] — the [`ArtifactCache`]: an `Arc`-shared, lock-striped
+//!   memo of compiled trace programs, sharing matrices and Locality
+//!   pilot runs keyed on content fingerprints, so policy-dense matrices
+//!   and the LSM candidate ladder pay for each shared artifact once
+//!   (results stay bit-identical to the uncached path).
 //!
 //! ```
 //! use lams_core::{Experiment, PolicyKind};
@@ -56,6 +61,7 @@ mod engine;
 mod error;
 mod experiment;
 mod locality;
+pub mod memo;
 mod policy;
 mod random;
 mod report;
@@ -65,10 +71,13 @@ pub mod sweep;
 mod task_affinity;
 
 pub use critical_path::CriticalPathPolicy;
-pub use engine::{execute, execute_bundle, EngineConfig, ProcessExec, RunResult, TraceMode};
+pub use engine::{
+    execute, execute_bundle, execute_cached, EngineConfig, ProcessExec, RunResult, TraceMode,
+};
 pub use error::{Error, Result};
 pub use experiment::{Experiment, LsmArtifacts};
 pub use locality::LocalityPolicy;
+pub use memo::{ArtifactCache, MemoStats};
 pub use policy::{Policy, PolicyKind};
 pub use random::RandomPolicy;
 pub use report::{ComparisonReport, RunOutcome};

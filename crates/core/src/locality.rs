@@ -1,6 +1,7 @@
 //! LS — the locality-aware scheduling heuristic (Section 3, Figure 3).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use lams_mpsoc::CoreId;
 use lams_procgraph::ProcessId;
@@ -30,7 +31,10 @@ use crate::{Policy, SharingMatrix};
 /// paper.
 #[derive(Debug, Clone)]
 pub struct LocalityPolicy {
-    sharing: SharingMatrix,
+    /// Shared, not owned: sweeps construct one LS policy per job from a
+    /// memoized matrix ([`crate::memo::ArtifactCache::sharing`]), so the
+    /// policy borrows it via `Arc` instead of cloning O(n²) data.
+    sharing: Arc<SharingMatrix>,
     num_cores: usize,
     /// Thinning toggle: `false` reproduces the paper exactly; `true`
     /// skips the initialization phase (ablation A1 in DESIGN.md).
@@ -42,10 +46,12 @@ pub struct LocalityPolicy {
 }
 
 impl LocalityPolicy {
-    /// Creates the policy for a machine with `num_cores` cores.
-    pub fn new(sharing: SharingMatrix, num_cores: usize) -> Self {
+    /// Creates the policy for a machine with `num_cores` cores. Accepts
+    /// the matrix owned (tests, one-off runs) or `Arc`-shared (memoized
+    /// sweeps) — `impl Into<Arc<_>>` covers both without a copy.
+    pub fn new(sharing: impl Into<Arc<SharingMatrix>>, num_cores: usize) -> Self {
         LocalityPolicy {
-            sharing,
+            sharing: sharing.into(),
             num_cores,
             skip_initial_thinning: false,
             first_round: None,

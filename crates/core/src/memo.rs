@@ -1,0 +1,474 @@
+//! Cross-experiment artifact memoization: [`ArtifactCache`].
+//!
+//! The paper's evaluation re-simulates each workload many times — LSM
+//! alone runs a pilot plus a whole ladder of candidate layouts, and a
+//! [`ScenarioMatrix`](crate::ScenarioMatrix) multiplies that across
+//! policies and knobs. Before this module, every one of those runs
+//! recompiled the trace IR ([`Workload::compile_traces`]) and rebuilt
+//! the [`SharingMatrix`] and Locality pilot from scratch, even though
+//! those artifacts depend only on the workload (and machine), not on
+//! the policy or knob under test.
+//!
+//! [`ArtifactCache`] is an `Arc`-shared, lock-striped memo holding:
+//!
+//! * **compiled trace program sets**, keyed on `(workload fingerprint,
+//!   layout fingerprint)` — consumed by
+//!   [`execute_cached`](crate::execute_cached) instead of recompiling
+//!   per engine run;
+//! * **sharing matrices**, keyed on the workload fingerprint — consumed
+//!   by every Locality/LSM policy construction;
+//! * **Locality pilot runs**, keyed on `(workload, machine)` — the LS
+//!   schedule on the plain linear layout, which is simultaneously the
+//!   LS result of a policy comparison *and* phase 1 of every LSM run;
+//! * **workload weights** (total trace ops), keyed on the workload
+//!   fingerprint — the up-front cost proxy
+//!   [`SweepJob::weight`](crate::SweepJob) feeds the longest-job-first
+//!   queue, computed once per workload instead of once per job.
+//!
+//! # Sharing semantics
+//!
+//! Keys are 128-bit **content fingerprints**
+//! ([`lams_mpsoc::Fingerprint`]): structural hashes of everything the
+//! artifact depends on, so independently constructed but identical
+//! workloads/layouts share entries and any structural difference keys a
+//! different slot. Entries are immutable once published and
+//! **first-writer-wins**: when two workers race to compute the same
+//! artifact, both compute it (the lock is never held during a compute,
+//! which also keeps recursive fills — a pilot run filling the program
+//! cache — deadlock-free), and whichever publishes first supplies the
+//! value everyone shares. Because every cached artifact is a pure
+//! function of its key, the race is benign and results are
+//! **bit-identical to the uncached path for any thread count**
+//! (differentially tested in `crates/core/tests/memo.rs`, pinned by the
+//! fig6 goldens in `tests/cross_validation.rs`).
+//!
+//! There is no invalidation: workloads and layouts are immutable after
+//! construction, so a fingerprint never goes stale. A cache lives as
+//! long as the sweep (or [`Experiment`](crate::Experiment)) that owns
+//! it and is dropped wholesale.
+//!
+//! Hit/miss counters are kept per artifact kind ([`MemoStats`]) and
+//! surfaced by `bench_summary` as `BENCH_memo.json` and by the figure
+//! binaries' `memo` report line.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lams_layout::Layout;
+use lams_mpsoc::{machine_fingerprint, Fingerprint, MachineConfig};
+use lams_trace::Program;
+use lams_workloads::Workload;
+
+use crate::{Result, RunResult, SharingMatrix};
+
+/// Number of lock stripes per map. Sweeps run at most a few dozen
+/// workers; 16 stripes keep contention negligible without bloating the
+/// (per-experiment) cache.
+const STRIPES: usize = 16;
+
+/// Stripe index of a single-fingerprint key (both words folded so
+/// correlated halves cannot skew the distribution).
+fn stripe_of(fp: Fingerprint) -> usize {
+    ((fp.0 ^ fp.1) as usize) & (STRIPES - 1)
+}
+
+/// Stripe index of a two-fingerprint key. Folds **both** fingerprints:
+/// sweeps typically hold one of the pair constant (one machine config
+/// across a whole matrix, one layout across many workloads), and
+/// striping on the varying half alone would serialize every lookup of
+/// that map on a single stripe.
+fn stripe_of2(a: Fingerprint, b: Fingerprint) -> usize {
+    ((a.0 ^ a.1 ^ b.0 ^ b.1) as usize) & (STRIPES - 1)
+}
+
+/// One lock-striped hash map: `STRIPES` independent `Mutex<HashMap>`
+/// shards, so concurrent fills of different artifacts rarely contend.
+struct Striped<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: Eq + Hash, V: Clone> Striped<K, V> {
+    fn new() -> Self {
+        Striped {
+            shards: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn get(&self, stripe: usize, key: &K) -> Option<V> {
+        self.shards[stripe]
+            .lock()
+            .expect("memo stripe")
+            .get(key)
+            .cloned()
+    }
+
+    /// Publishes `value` unless another writer got there first; returns
+    /// the winning value either way (first-writer-wins).
+    fn publish(&self, stripe: usize, key: K, value: V) -> V {
+        self.shards[stripe]
+            .lock()
+            .expect("memo stripe")
+            .entry(key)
+            .or_insert(value)
+            .clone()
+    }
+}
+
+/// Hit/miss counters per artifact kind (see [`ArtifactCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Compiled-program-set lookups served from the cache.
+    pub program_hits: u64,
+    /// Compiled-program-set lookups that had to compile.
+    pub program_misses: u64,
+    /// Sharing-matrix lookups served from the cache.
+    pub sharing_hits: u64,
+    /// Sharing-matrix lookups that had to compute.
+    pub sharing_misses: u64,
+    /// Locality-pilot lookups served from the cache.
+    pub pilot_hits: u64,
+    /// Locality-pilot lookups that had to simulate.
+    pub pilot_misses: u64,
+    /// Workload-weight lookups served from the cache.
+    pub weight_hits: u64,
+    /// Workload-weight lookups that had to count trace ops.
+    pub weight_misses: u64,
+}
+
+impl MemoStats {
+    /// Total lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.program_hits + self.sharing_hits + self.pilot_hits + self.weight_hits
+    }
+
+    /// Total lookups that had to compute the artifact.
+    pub fn misses(&self) -> u64 {
+        self.program_misses + self.sharing_misses + self.pilot_misses + self.weight_misses
+    }
+
+    /// `hits / (hits + misses)`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for MemoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate; programs {}/{}, sharing {}/{}, pilots {}/{}, weights {}/{})",
+            self.hits(),
+            self.misses(),
+            self.hit_rate() * 100.0,
+            self.program_hits,
+            self.program_misses,
+            self.sharing_hits,
+            self.sharing_misses,
+            self.pilot_hits,
+            self.pilot_misses,
+            self.weight_hits,
+            self.weight_misses,
+        )
+    }
+}
+
+/// Indices into the counter block (hit = kind, miss = kind + 1).
+const PROGRAM: usize = 0;
+const SHARING: usize = 2;
+const PILOT: usize = 4;
+const WEIGHT: usize = 6;
+
+/// The `Arc`-shared artifact memo (see the module docs).
+///
+/// Every [`Experiment`](crate::Experiment) owns one (fresh by default,
+/// shareable via
+/// [`Experiment::with_memo`](crate::Experiment::with_memo)), and
+/// [`ScenarioMatrix::run`](crate::ScenarioMatrix::run) threads one
+/// cache through all of a sweep's workers. [`ArtifactCache::disabled`]
+/// builds a pass-through instance that always recomputes — the uncached
+/// reference the differential tests and `BENCH_memo.json` compare
+/// against.
+pub struct ArtifactCache {
+    enabled: bool,
+    programs: Striped<(Fingerprint, Fingerprint), Arc<[Program]>>,
+    sharing: Striped<Fingerprint, Arc<SharingMatrix>>,
+    pilots: Striped<(Fingerprint, Fingerprint), Arc<RunResult>>,
+    weights: Striped<Fingerprint, u64>,
+    counters: [AtomicU64; 8],
+}
+
+impl ArtifactCache {
+    /// A fresh, empty, enabled cache.
+    pub fn new() -> Self {
+        ArtifactCache {
+            enabled: true,
+            programs: Striped::new(),
+            sharing: Striped::new(),
+            pilots: Striped::new(),
+            weights: Striped::new(),
+            counters: Default::default(),
+        }
+    }
+
+    /// A fresh enabled cache behind `Arc`, ready to share across
+    /// experiments and sweep workers.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(ArtifactCache::new())
+    }
+
+    /// A pass-through cache: every lookup recomputes, nothing is stored
+    /// and no counters move. This is exactly the pre-memo behaviour,
+    /// kept as the reference side of the cached-vs-uncached
+    /// differential tests and benchmarks.
+    pub fn disabled() -> Arc<Self> {
+        Arc::new(ArtifactCache {
+            enabled: false,
+            ..ArtifactCache::new()
+        })
+    }
+
+    /// Whether lookups may be served from the cache.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn count(&self, kind: usize, hit: bool) {
+        self.counters[kind + usize::from(!hit)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The compiled trace program set of `workload` against `layout`
+    /// (index = process id), compiling on first use.
+    pub fn programs(&self, workload: &Workload, layout: &Layout) -> Arc<[Program]> {
+        if !self.enabled {
+            return workload.compile_traces(layout);
+        }
+        let key = (workload.fingerprint(), layout.fingerprint());
+        let stripe = stripe_of2(key.0, key.1);
+        if let Some(hit) = self.programs.get(stripe, &key) {
+            self.count(PROGRAM, true);
+            return hit;
+        }
+        self.count(PROGRAM, false);
+        let compiled = workload.compile_traces(layout);
+        self.programs.publish(stripe, key, compiled)
+    }
+
+    /// The workload's [`SharingMatrix`], computed on first use.
+    pub fn sharing(&self, workload: &Workload) -> Arc<SharingMatrix> {
+        if !self.enabled {
+            return Arc::new(SharingMatrix::from_workload(workload));
+        }
+        let key = workload.fingerprint();
+        let stripe = stripe_of(key);
+        if let Some(hit) = self.sharing.get(stripe, &key) {
+            self.count(SHARING, true);
+            return hit;
+        }
+        self.count(SHARING, false);
+        let computed = Arc::new(SharingMatrix::from_workload(workload));
+        self.sharing.publish(stripe, key, computed)
+    }
+
+    /// The Locality pilot run of `workload` on `machine` — the LS
+    /// schedule on the plain linear layout, which doubles as the LS
+    /// policy result and phase 1 of LSM. `compute` runs on a miss (and
+    /// on race losers; first publisher wins).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error without caching it.
+    pub fn pilot<F>(
+        &self,
+        workload: &Workload,
+        machine: &MachineConfig,
+        compute: F,
+    ) -> Result<Arc<RunResult>>
+    where
+        F: FnOnce() -> Result<RunResult>,
+    {
+        if !self.enabled {
+            return Ok(Arc::new(compute()?));
+        }
+        let key = (workload.fingerprint(), machine_fingerprint(machine));
+        let stripe = stripe_of2(key.0, key.1);
+        if let Some(hit) = self.pilots.get(stripe, &key) {
+            self.count(PILOT, true);
+            return Ok(hit);
+        }
+        self.count(PILOT, false);
+        let computed = Arc::new(compute()?);
+        Ok(self.pilots.publish(stripe, key, computed))
+    }
+
+    /// The workload's total trace-op count
+    /// ([`Workload::total_trace_ops`]), the raw material of
+    /// [`SweepJob::weight`](crate::SweepJob::weight) — computed once
+    /// per workload so enumerating the longest-job-first queue is
+    /// O(workloads), not O(jobs).
+    pub fn workload_weight(&self, workload: &Workload) -> u64 {
+        if !self.enabled {
+            return workload.total_trace_ops();
+        }
+        let key = workload.fingerprint();
+        let stripe = stripe_of(key);
+        if let Some(hit) = self.weights.get(stripe, &key) {
+            self.count(WEIGHT, true);
+            return hit;
+        }
+        self.count(WEIGHT, false);
+        self.weights
+            .publish(stripe, key, workload.total_trace_ops())
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> MemoStats {
+        let c = |i: usize| self.counters[i].load(Ordering::Relaxed);
+        MemoStats {
+            program_hits: c(PROGRAM),
+            program_misses: c(PROGRAM + 1),
+            sharing_hits: c(SHARING),
+            sharing_misses: c(SHARING + 1),
+            pilot_hits: c(PILOT),
+            pilot_misses: c(PILOT + 1),
+            weight_hits: c(WEIGHT),
+            weight_misses: c(WEIGHT + 1),
+        }
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::new()
+    }
+}
+
+impl fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("enabled", &self.enabled)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lams_workloads::{suite, Scale};
+
+    fn workload() -> Workload {
+        Workload::single(suite::shape(Scale::Tiny)).unwrap()
+    }
+
+    #[test]
+    fn programs_hit_on_second_lookup_and_match_direct_compilation() {
+        let memo = ArtifactCache::new();
+        let w = workload();
+        let layout = Layout::linear(w.arrays());
+        let a = memo.programs(&w, &layout);
+        let b = memo.programs(&w, &layout);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the Arc");
+        let direct = w.compile_traces(&layout);
+        assert_eq!(a.len(), direct.len());
+        for (x, y) in a.iter().zip(direct.iter()) {
+            assert_eq!(x.fingerprint(), y.fingerprint());
+        }
+        let s = memo.stats();
+        assert_eq!((s.program_hits, s.program_misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_layouts_key_distinct_slots() {
+        let memo = ArtifactCache::new();
+        let w = workload();
+        let linear = Layout::linear(w.arrays());
+        let mut asg = lams_layout::RemapAssignment::new();
+        let first = w.arrays().iter().next().unwrap().0;
+        asg.assign(first, lams_layout::HalfPage::Lower);
+        let remapped =
+            Layout::remapped(w.arrays(), &lams_mpsoc::CacheConfig::paper_default(), &asg);
+        let a = memo.programs(&w, &linear);
+        let b = memo.programs(&w, &remapped);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(memo.stats().program_misses, 2);
+    }
+
+    #[test]
+    fn sharing_and_weight_memoize_per_workload() {
+        let memo = ArtifactCache::new();
+        let w = workload();
+        let s1 = memo.sharing(&w);
+        let s2 = memo.sharing(&w);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(*s1, SharingMatrix::from_workload(&w));
+        assert_eq!(memo.workload_weight(&w), w.total_trace_ops());
+        assert_eq!(memo.workload_weight(&w), w.total_trace_ops());
+        let s = memo.stats();
+        assert_eq!((s.sharing_hits, s.sharing_misses), (1, 1));
+        assert_eq!((s.weight_hits, s.weight_misses), (1, 1));
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_and_counts_nothing() {
+        let memo = ArtifactCache::disabled();
+        let w = workload();
+        let layout = Layout::linear(w.arrays());
+        let a = memo.programs(&w, &layout);
+        let b = memo.programs(&w, &layout);
+        assert!(!Arc::ptr_eq(&a, &b), "disabled cache must recompute");
+        memo.sharing(&w);
+        memo.workload_weight(&w);
+        assert_eq!(memo.stats(), MemoStats::default());
+        assert!(!memo.is_enabled());
+    }
+
+    #[test]
+    fn pilot_errors_are_not_cached() {
+        let memo = ArtifactCache::new();
+        let w = workload();
+        let machine = MachineConfig::paper_default();
+        let err = memo.pilot(&w, &machine, || {
+            Err(crate::Error::EngineStalled { ready: 1 })
+        });
+        assert!(err.is_err());
+        // The failed fill left no entry: the next lookup computes.
+        let ok = memo
+            .pilot(&w, &machine, || {
+                crate::Experiment::for_workload(w.clone(), machine).run(crate::PolicyKind::Locality)
+            })
+            .unwrap();
+        assert!(ok.makespan_cycles > 0);
+        let s = memo.stats();
+        assert_eq!((s.pilot_hits, s.pilot_misses), (0, 2));
+    }
+
+    #[test]
+    fn first_writer_wins_under_racing_fills() {
+        let memo = ArtifactCache::new();
+        let w = workload();
+        let layout = Layout::linear(w.arrays());
+        let sets: Vec<Arc<[Program]>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| memo.programs(&w, &layout)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in sets.windows(2) {
+            assert!(
+                Arc::ptr_eq(&pair[0], &pair[1]),
+                "all racers must converge on one published set"
+            );
+        }
+        let s = memo.stats();
+        assert_eq!(s.program_hits + s.program_misses, 4);
+        assert!(s.program_misses >= 1);
+    }
+}

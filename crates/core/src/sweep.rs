@@ -56,6 +56,7 @@ use std::sync::{Arc, Mutex};
 
 use lams_mpsoc::MachineConfig;
 
+use crate::memo::ArtifactCache;
 use crate::report::RunOutcome;
 use crate::{ComparisonReport, Experiment, PolicyKind, Result, RunResult};
 
@@ -206,8 +207,19 @@ impl SweepJob {
     /// re-simulates the workload several times. A heuristic, not a
     /// promise: only the *ordering* of the longest-job-first queue
     /// consumes it, never the results.
+    ///
+    /// The op count is memoized in the experiment's [`ArtifactCache`]
+    /// per workload, so weighing a policy-dense matrix costs
+    /// O(workloads), not O(jobs) — jobs pushed under one group share
+    /// their experiment (and memo) by `Arc`.
     pub fn weight(&self) -> u64 {
-        let ops = self.experiment.workload().total_trace_ops();
+        self.weight_memo(self.experiment.memo())
+    }
+
+    /// [`SweepJob::weight`] against an explicit memo (the matrix-wide
+    /// cache [`ScenarioMatrix::run`] threads through its jobs).
+    fn weight_memo(&self, memo: &ArtifactCache) -> u64 {
+        let ops = memo.workload_weight(self.experiment.workload());
         match self.kind {
             // Pilot + typically ~5–10 deduplicated ladder candidates.
             PolicyKind::LocalityMap => ops.saturating_mul(8),
@@ -223,17 +235,23 @@ impl SweepJob {
     /// job would oversubscribe to ~2N live threads. Results are
     /// bit-identical either way (the ladder's selection is
     /// order-reassembled), so this is purely a scheduling choice.
-    fn execute(&self, parallel_matrix: bool) -> Result<(RunResult, usize)> {
+    ///
+    /// Shared artifacts (compiled programs, sharing matrices, the
+    /// Locality pilot) are served from `memo`, which the enclosing
+    /// matrix shares across all workers (first-writer-wins; see
+    /// [`crate::memo`]).
+    fn execute(&self, parallel_matrix: bool, memo: &ArtifactCache) -> Result<(RunResult, usize)> {
         match self.kind {
             PolicyKind::LocalityMap => {
-                let (result, art) = if parallel_matrix {
-                    self.experiment.run_lsm_with(SweepRunner::sequential())?
+                let runner = if parallel_matrix {
+                    SweepRunner::sequential()
                 } else {
-                    self.experiment.run_lsm()?
+                    self.experiment.runner()
                 };
+                let (result, art) = self.experiment.run_lsm_memo(runner, memo)?;
                 Ok((result, art.assignment.len()))
             }
-            kind => Ok((self.experiment.run(kind)?, 0)),
+            kind => Ok((self.experiment.run_memo(kind, memo)?, 0)),
         }
     }
 }
@@ -322,13 +340,39 @@ impl ScenarioMatrix {
     /// bit-identical to FIFO order for any thread count (pinned in
     /// `crates/core/tests/sweep.rs`).
     ///
+    /// One fresh [`ArtifactCache`] is threaded through every job, so
+    /// jobs sharing a workload pay for compiled traces, sharing
+    /// matrices and Locality pilots once across the whole matrix. Use
+    /// [`ScenarioMatrix::run_with_memo`] to supply (and afterwards
+    /// inspect) the cache yourself.
+    ///
     /// # Errors
     ///
     /// Returns the error of the earliest enumerated failing job.
     pub fn run(&self, runner: &SweepRunner) -> Result<Vec<ComparisonReport>> {
+        self.run_with_memo(runner, &ArtifactCache::new())
+    }
+
+    /// [`ScenarioMatrix::run`] against a caller-supplied
+    /// [`ArtifactCache`]: all workers share `memo` (first-writer-wins;
+    /// results are bit-identical for any cache state and thread count —
+    /// differentially tested in `crates/core/tests/memo.rs`). Callers
+    /// keep the cache, so hit/miss counters
+    /// ([`ArtifactCache::stats`]) and the warmed artifacts survive the
+    /// run — chain several matrices over one memo, or pass
+    /// [`ArtifactCache::disabled`] for the uncached reference path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest enumerated failing job.
+    pub fn run_with_memo(
+        &self,
+        runner: &SweepRunner,
+        memo: &ArtifactCache,
+    ) -> Result<Vec<ComparisonReport>> {
         let parallel = runner.threads() > 1 && self.jobs.len() > 1;
-        let weights: Vec<u64> = self.jobs.iter().map(SweepJob::weight).collect();
-        let results = runner.run_weighted(&weights, |i| self.jobs[i].execute(parallel));
+        let weights: Vec<u64> = self.jobs.iter().map(|j| j.weight_memo(memo)).collect();
+        let results = runner.run_weighted(&weights, |i| self.jobs[i].execute(parallel, memo));
 
         let mut order: Vec<&str> = Vec::new();
         let mut grouped: Vec<(MachineConfig, Vec<RunOutcome>)> = Vec::new();

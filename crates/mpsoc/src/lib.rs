@@ -91,6 +91,7 @@ mod cache;
 mod config;
 mod energy;
 mod error;
+mod fingerprint;
 mod machine;
 mod source;
 mod stats;
@@ -101,6 +102,7 @@ pub use cache::{AccessOutcome, Cache, MissKind};
 pub use config::{BusConfig, CacheConfig, MachineConfig};
 pub use energy::EnergyModel;
 pub use error::{Error, Result};
+pub use fingerprint::{machine_fingerprint, Fingerprint, FingerprintHasher};
 pub use machine::{BatchOutcome, CoreId, Machine};
 pub use source::{Segment, SegmentLane, TraceSource};
 pub use stats::{CacheStats, CoreStats, MachineStats};

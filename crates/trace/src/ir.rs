@@ -129,6 +129,47 @@ impl Program {
         crate::Cursor::new(self)
     }
 
+    /// Content fingerprint of the block/lane structure — O(blocks), no
+    /// decoding. Two programs fingerprint equal iff their IR is
+    /// identical, so this is a cheap way to assert that a memoized
+    /// program set matches a freshly compiled one (see
+    /// `lams_core::memo` and `crates/core/tests/memo.rs`).
+    pub fn fingerprint(&self) -> lams_mpsoc::Fingerprint {
+        let mut h = lams_mpsoc::FingerprintHasher::new("lams.program");
+        h.write_u64(self.ops);
+        h.write_len(self.blocks.len());
+        for b in &self.blocks {
+            match *b {
+                Block::Run(r) => {
+                    h.write_u32(0);
+                    h.write_u64(r.base);
+                    h.write_i64(r.stride);
+                    h.write_u64(r.count);
+                    h.write_bool(r.write);
+                }
+                Block::Burst { cycles, repeat } => {
+                    h.write_u32(1);
+                    h.write_u64(cycles);
+                    h.write_u64(repeat);
+                }
+                Block::Loop(lp) => {
+                    h.write_u32(2);
+                    h.write_u64(lp.times);
+                    h.write_u64(lp.cycles);
+                    h.write_u32(lp.lane_start);
+                    h.write_u32(lp.lane_len);
+                }
+            }
+        }
+        h.write_len(self.lanes.len());
+        for lane in &self.lanes {
+            h.write_u64(lane.base);
+            h.write_i64(lane.stride);
+            h.write_bool(lane.write);
+        }
+        h.finish()
+    }
+
     /// Summary statistics of the decoded stream, computed arithmetically
     /// from the blocks (no decoding).
     pub fn stats(&self) -> TraceStats {

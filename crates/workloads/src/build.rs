@@ -65,6 +65,11 @@ pub struct Workload {
     epg: ProcessGraph,
     tasks: Vec<Task>,
     procs: Vec<ResolvedProcess>,
+    /// Lazily computed content fingerprint (see
+    /// [`Workload::fingerprint`]). Cloning a workload clones the cached
+    /// value — content is immutable after construction, so it stays
+    /// valid.
+    fp: std::sync::OnceLock<lams_mpsoc::Fingerprint>,
 }
 
 impl Workload {
@@ -157,6 +162,96 @@ impl Workload {
             epg: builder.build()?,
             tasks,
             procs,
+            fp: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// Content fingerprint: a 128-bit structural hash over everything
+    /// that determines the workload's simulated behaviour — arrays,
+    /// dependence edges, task structure and every process's iteration
+    /// space, accesses, compute cost and exact data footprint. Two
+    /// independently built workloads with identical content fingerprint
+    /// equal; any structural difference changes the fingerprint (with
+    /// overwhelming probability — the key is 128 bits wide).
+    ///
+    /// Used as the memo key for workload-derived artifacts (compiled
+    /// trace program sets, sharing matrices, Locality pilot runs) in
+    /// `lams_core::memo::ArtifactCache`. Computed once per workload and
+    /// cached.
+    pub fn fingerprint(&self) -> lams_mpsoc::Fingerprint {
+        *self.fp.get_or_init(|| {
+            let mut h = lams_mpsoc::FingerprintHasher::new("lams.workload");
+            h.write_str(&self.name);
+            // Arrays: id order is the table order, so position encodes id.
+            h.write_len(self.arrays.len());
+            for (_, decl) in self.arrays.iter() {
+                h.write_str(decl.name());
+                h.write_len(decl.extents().len());
+                for &e in decl.extents() {
+                    h.write_i64(e);
+                }
+                h.write_u64(decl.elem_bytes());
+                h.write_u64(decl.align());
+            }
+            // Task structure (process partition into applications).
+            h.write_len(self.tasks.len());
+            for task in &self.tasks {
+                let procs: Vec<ProcessId> = task.processes().collect();
+                h.write_len(procs.len());
+                for p in procs {
+                    h.write_u32(p.index());
+                }
+            }
+            // Dependence edges, in (from, to) order.
+            h.write_len(self.procs.len());
+            for p in self.process_ids() {
+                for s in self.epg.succs(p).expect("process in graph") {
+                    h.write_u32(p.index());
+                    h.write_u32(s.index());
+                }
+                h.write_u32(u32::MAX); // per-process edge terminator
+            }
+            // Processes: everything trace generation reads.
+            for r in &self.procs {
+                h.write_str(&r.name);
+                h.write_len(r.bbox.len());
+                for &(lo, hi) in &r.bbox {
+                    h.write_i64(lo);
+                    h.write_i64(hi);
+                }
+                h.write_bool(r.is_box);
+                if !r.is_box {
+                    // Non-box traces iterate the space's member points;
+                    // the bbox alone does not determine them. The debug
+                    // rendering is a deterministic, content-derived
+                    // serialization of the constraint system.
+                    h.write_str(&format!("{:?}", r.space));
+                }
+                h.write_len(r.accesses.len());
+                for a in &r.accesses {
+                    h.write_u32(a.array.index());
+                    h.write_len(a.coeffs.len());
+                    for &c in &a.coeffs {
+                        h.write_i64(c);
+                    }
+                    h.write_i64(a.constant);
+                    h.write_bool(a.write);
+                }
+                h.write_u64(r.compute);
+                h.write_u64(r.num_iters);
+                // Exact footprints (the sharing matrix's raw material).
+                let arrays: Vec<_> = r.data_set.iter().collect();
+                h.write_len(arrays.len());
+                for (&arr, elems) in arrays {
+                    h.write_u32(arr.index());
+                    h.write_len(elems.intervals().len());
+                    for iv in elems.intervals() {
+                        h.write_i64(iv.start);
+                        h.write_i64(iv.end);
+                    }
+                }
+            }
+            h.finish()
         })
     }
 
@@ -272,8 +367,10 @@ impl Workload {
     }
 
     /// Compiles every process's trace (index = process id) — the form
-    /// the IR-mode engine executes.
-    pub fn compile_traces(&self, layout: &Layout) -> Vec<lams_trace::Program> {
+    /// the IR-mode engine executes. Returned behind `Arc` so callers
+    /// (notably `lams_core::memo::ArtifactCache`) can share one compiled
+    /// set across engine runs and sweep jobs without copying.
+    pub fn compile_traces(&self, layout: &Layout) -> std::sync::Arc<[lams_trace::Program]> {
         self.process_ids()
             .map(|p| self.compile_trace(p, layout))
             .collect()
