@@ -1,6 +1,7 @@
 //! Minimal command-line parsing for the harness binaries (no external
 //! dependencies needed for `--scale`-style flags).
 
+use lams_mpsoc::BusConfig;
 use lams_workloads::Scale;
 
 /// Extracts `--scale tiny|small|paper|large|huge` from raw args
@@ -33,6 +34,41 @@ pub fn scale_from_str(v: &str) -> Option<Scale> {
         "huge" => Some(Scale::Huge),
         _ => None,
     }
+}
+
+/// Extracts the optional `--bus` contention axis:
+///
+/// * absent → `None` (the paper's fixed-latency memory),
+/// * `--bus fcfs:OCC` → FCFS arbitration, `OCC` cycles per transfer,
+/// * `--bus windowed:OCC:WINDOW` → time-windowed arbitration granting
+///   at `WINDOW`-cycle epoch boundaries.
+///
+/// Exits with an error on malformed values — a typo must not silently
+/// run the uncontended machine.
+pub fn parse_bus(args: &[String]) -> Option<BusConfig> {
+    let v = flag_value(args, "--bus")?;
+    Some(bus_from_str(v).unwrap_or_else(|| {
+        eprintln!("error: unknown --bus '{v}' (expected fcfs:OCC or windowed:OCC:WINDOW)");
+        std::process::exit(2);
+    }))
+}
+
+/// Parses one bus spec (see [`parse_bus`]); `None` for malformed input.
+pub fn bus_from_str(v: &str) -> Option<BusConfig> {
+    let mut parts = v.split(':');
+    let bus = match parts.next()?.to_ascii_lowercase().as_str() {
+        "fcfs" => BusConfig::fcfs(parts.next()?.parse().ok()?),
+        "windowed" => {
+            let occ = parts.next()?.parse().ok()?;
+            let window = parts.next()?.parse().ok()?;
+            BusConfig::windowed(occ, window)
+        }
+        _ => return None,
+    };
+    if parts.next().is_some() || bus.validate().is_err() {
+        return None;
+    }
+    Some(bus)
 }
 
 /// Extracts `--threads N` (default 1, clamped to at least 1) — the
@@ -95,5 +131,27 @@ mod tests {
         assert_eq!(parse_usize_flag(&argv(&["--cores", "4"]), "--cores", 8), 4);
         assert_eq!(parse_usize_flag(&argv(&[]), "--cores", 8), 8);
         assert_eq!(parse_usize_flag(&argv(&["--cores", "x"]), "--cores", 8), 8);
+    }
+
+    #[test]
+    fn bus_flag() {
+        assert_eq!(parse_bus(&argv(&[])), None);
+        assert_eq!(
+            parse_bus(&argv(&["--bus", "fcfs:20"])),
+            Some(BusConfig::fcfs(20))
+        );
+        assert_eq!(
+            parse_bus(&argv(&["--bus", "windowed:20:256"])),
+            Some(BusConfig::windowed(20, 256))
+        );
+        // Malformed specs are rejected (parse_bus exits; the fallible
+        // core is testable directly).
+        assert_eq!(bus_from_str("fcfs"), None);
+        assert_eq!(bus_from_str("fcfs:x"), None);
+        assert_eq!(bus_from_str("windowed:20"), None);
+        assert_eq!(bus_from_str("windowed:20:0"), None, "zero window invalid");
+        assert_eq!(bus_from_str("windowed:20:256:9"), None);
+        assert_eq!(bus_from_str("tdm:20"), None);
+        assert_eq!(bus_from_str("FCFS:7"), Some(BusConfig::fcfs(7)));
     }
 }

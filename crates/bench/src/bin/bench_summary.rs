@@ -12,8 +12,14 @@
 //! disabled vs shared and writes `BENCH_memo.json` (hit/miss counters,
 //! hit rate, cached-vs-uncached wall-clock).
 //!
+//! Since PR 5 it also times a contended fig6-style matrix under FCFS vs
+//! time-windowed bus arbitration and writes `BENCH_bus.json`: FCFS
+//! serializes the engine op-by-op (second-smallest-clock horizons),
+//! windowed mode restores full event-horizon batching — the recorded
+//! `speedup` is the engine-throughput win of the windowed arbiter.
+//!
 //! Usage:
-//! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json] [trace.json] [memo.json]`
+//! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json] [trace.json] [memo.json] [bus.json]`
 //!
 //! The makespan checksum must stay constant across perf PRs (bit-identical
 //! simulation results); the throughput numbers are expected to move.
@@ -26,7 +32,7 @@ use lams_core::{
     ScenarioMatrix, SharingMatrix, SweepRunner, TraceMode,
 };
 use lams_layout::Layout;
-use lams_mpsoc::{Cache, CacheConfig, MachineConfig};
+use lams_mpsoc::{BusConfig, Cache, CacheConfig, MachineConfig};
 use lams_workloads::{suite, Scale, Workload};
 
 /// Median ns/iter of `f` over `samples` timed samples of `iters` calls.
@@ -301,6 +307,87 @@ fn memo_bench(samples: usize) -> MemoBench {
     }
 }
 
+struct BusBenchRun {
+    wall_ms: f64,
+    sim_mops_per_s: f64,
+    makespan: u64,
+    bus_wait_cycles: u64,
+}
+
+struct BusBench {
+    total_ops: u64,
+    fcfs: BusBenchRun,
+    windowed: BusBenchRun,
+    /// Engine-throughput win of windowed arbitration over the FCFS
+    /// path on the same contended matrix (sim ops are identical, so
+    /// this equals the wall-clock ratio).
+    speedup: f64,
+}
+
+/// The contended-matrix bench behind `BENCH_bus.json`: every suite app
+/// at Small scale under LS on the Table 2 machine with a 20-cycle
+/// shared bus, arbitrated FCFS vs in 256-cycle windows. FCFS forces
+/// the engine to cap batches at the second-smallest busy clock —
+/// effectively per-op dispatch under contention — while the windowed
+/// arbiter restores full event-horizon batching (misses park at epoch
+/// boundaries); the throughput ratio is the restored-batching win.
+/// Simulated *schedules* differ between the modes (they are different
+/// contention models); simulated *work* (trace ops) is identical.
+fn bus_bench() -> BusBench {
+    // Layouts and sharing matrices are deterministic, mode-independent
+    // setup — built once outside the timed region so the recorded
+    // speedup measures the engine alone.
+    let apps: Vec<(Workload, Layout, SharingMatrix)> = suite::all(Scale::Small)
+        .into_iter()
+        .map(|a| {
+            let w = Workload::single(a).expect("valid app");
+            let layout = Layout::linear(w.arrays());
+            let sharing = SharingMatrix::from_workload(&w);
+            (w, layout, sharing)
+        })
+        .collect();
+    let total_ops: u64 = apps
+        .iter()
+        .map(|(w, _, _)| w.process_ids().map(|p| w.trace_len(p)).sum::<u64>())
+        .sum();
+    let run = |bus: BusConfig| {
+        let machine = MachineConfig::paper_default().with_bus(bus);
+        let mut makespan = 0u64;
+        let mut bus_wait = 0u64;
+        let ns = time_ns(
+            || {
+                makespan = 0;
+                bus_wait = 0;
+                for (w, layout, sharing) in &apps {
+                    let mut p = LocalityPolicy::new(sharing.clone(), machine.num_cores);
+                    let r = execute(w, layout, &mut p, EngineConfig::from(machine))
+                        .expect("engine runs");
+                    makespan += r.makespan_cycles;
+                    bus_wait += r.machine.total_bus_wait_cycles;
+                }
+                black_box(makespan);
+            },
+            1,
+            7,
+        );
+        BusBenchRun {
+            wall_ms: ns / 1e6,
+            sim_mops_per_s: total_ops as f64 / ns * 1e3,
+            makespan,
+            bus_wait_cycles: bus_wait,
+        }
+    };
+    let fcfs = run(BusConfig::fcfs(20));
+    let windowed = run(BusConfig::windowed(20, 256));
+    let speedup = fcfs.wall_ms / windowed.wall_ms;
+    BusBench {
+        total_ops,
+        fcfs,
+        windowed,
+        speedup,
+    }
+}
+
 struct SweepBenchRun {
     threads: usize,
     wall_ms: f64,
@@ -365,6 +452,9 @@ fn main() {
     let memo_out = std::env::args()
         .nth(4)
         .unwrap_or_else(|| "BENCH_memo.json".to_string());
+    let bus_out = std::env::args()
+        .nth(5)
+        .unwrap_or_else(|| "BENCH_bus.json".to_string());
 
     eprintln!("bench_summary: cache micro-benches...");
     let plain = cache_melems_per_s(false);
@@ -576,4 +666,43 @@ fn main() {
     mj.push_str("}\n");
     std::fs::write(&memo_out, mj).expect("write memo summary");
     eprintln!("bench_summary: wrote {memo_out}");
+
+    eprintln!("bench_summary: bus-arbitration bench (LS suite, Small, contended)...");
+    let bb = bus_bench();
+    eprintln!(
+        "  fcfs             {:>8.3} ms  ({:.2} sim Mops/s, makespan sum {}, waits {})",
+        bb.fcfs.wall_ms, bb.fcfs.sim_mops_per_s, bb.fcfs.makespan, bb.fcfs.bus_wait_cycles
+    );
+    eprintln!(
+        "  windowed/256     {:>8.3} ms  ({:.2} sim Mops/s, makespan sum {}, waits {})",
+        bb.windowed.wall_ms,
+        bb.windowed.sim_mops_per_s,
+        bb.windowed.makespan,
+        bb.windowed.bus_wait_cycles
+    );
+    eprintln!(
+        "  speedup          {:.2}x engine throughput (windowed vs FCFS)",
+        bb.speedup
+    );
+
+    let mut bj = String::new();
+    bj.push_str("{\n");
+    bj.push_str("  \"schema\": 1,\n");
+    bj.push_str("  \"matrix\": {\"style\": \"fig6-ls\", \"scale\": \"small\", ");
+    bj.push_str(&format!(
+        "\"occupancy_cycles\": 20, \"window_cycles\": 256, \"total_ops\": {}}},\n",
+        bb.total_ops
+    ));
+    let run_json = |r: &BusBenchRun| {
+        format!(
+            "{{\"wall_ms\": {:.4}, \"sim_mops_per_s\": {:.3}, \"makespan_sum_cycles\": {}, \"bus_wait_cycles\": {}}}",
+            r.wall_ms, r.sim_mops_per_s, r.makespan, r.bus_wait_cycles
+        )
+    };
+    bj.push_str(&format!("  \"fcfs\": {},\n", run_json(&bb.fcfs)));
+    bj.push_str(&format!("  \"windowed\": {},\n", run_json(&bb.windowed)));
+    bj.push_str(&format!("  \"speedup\": {:.3}\n", bb.speedup));
+    bj.push_str("}\n");
+    std::fs::write(&bus_out, bj).expect("write bus summary");
+    eprintln!("bench_summary: wrote {bus_out}");
 }

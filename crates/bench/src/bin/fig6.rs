@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p lams-bench --bin fig6 -- \
-//!     [--scale tiny|small|paper|large|huge] [--threads N]
+//!     [--scale tiny|small|paper|large|huge] [--threads N] \
+//!     [--bus fcfs:OCC|windowed:OCC:WINDOW]
 //! ```
 //!
 //! The figure is declared as a [`ScenarioMatrix`] (one group per
@@ -15,7 +16,7 @@
 //! Prints a CSV block (one row per application x policy) followed by an
 //! ASCII bar chart shaped like the paper's figure.
 
-use lams_bench::{bar_chart, csv_table, parse_scale_or, parse_threads};
+use lams_bench::{bar_chart, csv_table, parse_bus, parse_scale_or, parse_threads};
 use lams_core::{ArtifactCache, Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
 use lams_mpsoc::MachineConfig;
 use lams_workloads::{suite, Scale};
@@ -24,7 +25,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = parse_scale_or(&args, Scale::Large);
     let runner = SweepRunner::new(parse_threads(&args));
-    let machine = MachineConfig::paper_default();
+    let mut machine = MachineConfig::paper_default();
+    if let Some(bus) = parse_bus(&args) {
+        machine = machine.with_bus(bus);
+    }
 
     println!(
         "Figure 6 reproduction — isolated execution, scale {scale}, {machine}, {} thread(s)",

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p lams-bench --bin fig7 -- \
-//!     [--scale tiny|small|paper|large|huge] [--threads N]
+//!     [--scale tiny|small|paper|large|huge] [--threads N] \
+//!     [--bus fcfs:OCC|windowed:OCC:WINDOW]
 //! ```
 //!
 //! The six mixes × four policies are declared as a [`ScenarioMatrix`]
@@ -14,7 +15,7 @@
 //! N workers with bit-identical output. Defaults to the `large` sweep
 //! scale.
 
-use lams_bench::{bar_chart, csv_table, parse_scale_or, parse_threads};
+use lams_bench::{bar_chart, csv_table, parse_bus, parse_scale_or, parse_threads};
 use lams_core::{Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
 use lams_mpsoc::MachineConfig;
 use lams_workloads::{suite, Scale};
@@ -23,7 +24,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = parse_scale_or(&args, Scale::Large);
     let runner = SweepRunner::new(parse_threads(&args));
-    let machine = MachineConfig::paper_default();
+    let mut machine = MachineConfig::paper_default();
+    if let Some(bus) = parse_bus(&args) {
+        machine = machine.with_bus(bus);
+    }
 
     println!(
         "Figure 7 reproduction — concurrent execution, scale {scale}, {machine}, {} thread(s)",

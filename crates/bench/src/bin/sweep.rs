@@ -6,17 +6,22 @@
 //!
 //! ```text
 //! cargo run --release -p lams-bench --bin sweep -- \
-//!     [--scale tiny|small|paper|large|huge] [--tasks 4] [--threads N]
+//!     [--scale tiny|small|paper|large|huge] [--tasks 4] [--threads N] \
+//!     [--bus fcfs:OCC|windowed:OCC:WINDOW]
 //! ```
+//!
+//! With `--bus`, every sweep point runs behind the given shared-bus
+//! contention model, and the grid gains a bus axis sweeping the
+//! transfer occupancy around the requested value.
 //!
 //! The 17 sweep points × four policies are declared as one
 //! [`ScenarioMatrix`] (68 jobs) and executed on a [`SweepRunner`];
 //! `--threads N` fans the jobs across N workers with bit-identical
 //! output.
 
-use lams_bench::{csv_table, parse_scale, parse_threads, parse_usize_flag};
+use lams_bench::{csv_table, parse_bus, parse_scale, parse_threads, parse_usize_flag};
 use lams_core::{Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
-use lams_mpsoc::{CacheConfig, MachineConfig};
+use lams_mpsoc::{BusConfig, CacheConfig, MachineConfig};
 use lams_workloads::suite;
 
 fn main() {
@@ -25,7 +30,11 @@ fn main() {
     let tasks = parse_usize_flag(&args, "--tasks", 4).clamp(1, 6);
     let runner = SweepRunner::new(parse_threads(&args));
     let mix = suite::mix(tasks, scale);
-    let base = MachineConfig::paper_default();
+    let mut base = MachineConfig::paper_default();
+    let bus = parse_bus(&args);
+    if let Some(bus) = bus {
+        base = base.with_bus(bus);
+    }
 
     println!(
         "Sensitivity sweep — |T|={tasks}, scale {scale} (baseline {base}), {} thread(s)",
@@ -57,6 +66,22 @@ fn main() {
     }
     for quantum in [1_000u64, 5_000, 10_000, 50_000, 200_000] {
         points.push((format!("# quantum {quantum}"), base, quantum));
+    }
+    if let Some(bus) = bus {
+        // Bus axis: sweep the transfer occupancy around the requested
+        // value (halved, as given, doubled) under the same mode.
+        for scale in [1u64, 2, 4] {
+            let occ = bus.occupancy_cycles * scale / 2;
+            let swept = BusConfig {
+                occupancy_cycles: occ,
+                ..bus
+            };
+            points.push((
+                format!("# bus occupancy {occ}"),
+                base.with_bus(swept),
+                10_000,
+            ));
+        }
     }
 
     let mut matrix = ScenarioMatrix::new();

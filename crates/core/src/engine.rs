@@ -24,10 +24,19 @@
 //!   they reach the heap minimum (see [`RunState`]) — so events,
 //!   dispatches and policy callbacks happen in precisely the seed
 //!   engine's order;
-//! * only when a shared bus is configured is the batch additionally
-//!   capped at the second-smallest busy clock, because then the global
-//!   *op* interleaving (bus arbitration) is observable, not just the
-//!   event order;
+//! * only when a shared bus in **FCFS** mode is configured is the batch
+//!   additionally capped at the second-smallest busy clock, because
+//!   then the global *op* interleaving (bus arbitration) is observable,
+//!   not just the event order. Under **windowed** arbitration
+//!   ([`lams_mpsoc::BusMode::Windowed`]) the engine batches to full
+//!   event horizons even with a bus: execution between misses never
+//!   touches the bus, and a miss *parks* the core
+//!   ([`lams_mpsoc::BatchOutcome::parked`]) until its epoch boundary —
+//!   the boundary is re-queued into the heap as an ordinary deferred
+//!   event, and when it reaches the heap minimum every request of that
+//!   epoch is known (any core able to issue an earlier one would have
+//!   had a smaller key), so the batch resolves deterministically in
+//!   `(request-time, core-id)` order (see `docs/bus-model.md`);
 //! * the ready/idle scratch vectors are reused across iterations.
 //!
 //! Batching is exact, not approximate: makespans, dispatch sequences
@@ -189,8 +198,23 @@ enum RunState {
     /// The quantum was crossed; the preemption event fires when the
     /// crossing op's `(pre_op_clock, core)` entry becomes the heap
     /// minimum — the op's scheduling position in the seed engine, which
-    /// fired the preemption immediately after executing it.
+    /// fired the preemption immediately after executing it. One
+    /// exception: when the crossing op was a *bus-stalled* access
+    /// (windowed arbitration, [`RunState::BusPending`]) the entry is
+    /// keyed at the access's completion clock instead — the crossing is
+    /// only decidable once the epoch grant exists.
     PreemptPending,
+    /// A miss latched a request on a windowed bus and the core is
+    /// stalled with the access cost unapplied. Its heap entry is keyed
+    /// at the request's epoch `(boundary, core)`: when it becomes the
+    /// heap minimum, no other core can still issue a request latched at
+    /// this (or an earlier) boundary — every busy core's key, and hence
+    /// clock, is `>= boundary`, so its next request time is strictly
+    /// later, and any idle-core dispatch eligible before the boundary
+    /// would have produced a smaller heap entry first. The epoch batch
+    /// is therefore complete and
+    /// [`Machine::complete_bus_access`] resolves it deterministically.
+    BusPending,
 }
 
 /// A core's trace feed: either the scalar iterator or an IR cursor.
@@ -489,6 +513,34 @@ where
                 policy.on_preempt(pid, now);
                 continue;
             }
+            RunState::BusPending => {
+                // Every request latched at this epoch boundary is now
+                // known (see the RunState docs): resolve the batch and
+                // apply this core's granted miss cost. The completion is
+                // policy-invisible — the core simply resumes, re-keyed
+                // at its true clock (or, if the access crossed the
+                // quantum, preempts at that same completion clock —
+                // see below).
+                let _ = machine.complete_bus_access(core)?;
+                let now = machine.core_clock(core)?;
+                let slot = running[core].as_mut().expect("core is busy");
+                if slot.quantum_end.is_some_and(|qe| now >= qe) {
+                    // A process preempted during a bus-stalled access
+                    // re-enters the ready queue at the access's
+                    // *completion* position `(now, core)` — the stall
+                    // cannot be interrupted, and whether the quantum
+                    // crossed at all depends on the granted wait, which
+                    // only exists now. (Non-stalled crossings keep the
+                    // seed's pre-op-clock key; window = 1 never parks,
+                    // so FCFS equivalence is untouched.)
+                    slot.state = RunState::PreemptPending;
+                    busy.push(Reverse((now, core)));
+                } else {
+                    slot.state = RunState::Executing;
+                    busy.push(Reverse((now, core)));
+                }
+                continue;
+            }
             RunState::Executing => {
                 debug_assert_eq!(machine.core_clock(core)?, key, "stale heap entry");
             }
@@ -500,13 +552,15 @@ where
         // earliest start). Completion/preemption need no horizon — they
         // end the batch on their own and are re-queued as deferred
         // events at their exact scheduling position. Only when a shared
-        // bus is configured must the batch also stop at the
-        // second-smallest busy clock, because then the global *op*
+        // bus in FCFS mode is configured must the batch also stop at
+        // the second-smallest busy clock, because then the global *op*
         // interleaving (bus arbitration order) is observable, not just
-        // the event order.
+        // the event order; a *windowed* bus instead parks the core at
+        // its first miss, so batches run to full horizons (the
+        // restored-batching win this arbiter exists for).
         let quantum_end = running[core].as_ref().expect("core is busy").quantum_end;
         let mut horizon = quantum_end.unwrap_or(u64::MAX);
-        if config.machine.bus.is_some() {
+        if config.machine.bus.is_some_and(|b| b.serializes_ops()) {
             horizon = horizon.min(busy.peek().map_or(u64::MAX, |&Reverse((t, _))| t));
         }
         if tracker.ready_len() > 0 {
@@ -529,7 +583,13 @@ where
             Feed::Ir(c) => machine.exec_source_until(core, c, horizon)?,
         };
         let now = machine.core_clock(core)?;
-        if outcome.exhausted {
+        if let Some(boundary) = outcome.parked {
+            // A windowed-bus miss latched its epoch request: park the
+            // core at the boundary. The cost applies (and the quantum
+            // check happens) when the entry pops and the batch resolves.
+            slot.state = RunState::BusPending;
+            busy.push(Reverse((boundary, core)));
+        } else if outcome.exhausted {
             // Defer: the seed engine discovered an empty trace at the
             // *next selection* of this core, i.e. when (finish, core)
             // becomes the minimum key.

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use lams_core::{ArtifactCache, Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
 use lams_layout::{ArrayDecl, ArrayTable, HalfPage, Layout, RemapAssignment};
-use lams_mpsoc::{CacheConfig, MachineConfig};
+use lams_mpsoc::{machine_fingerprint, BusConfig, CacheConfig, MachineConfig};
 use lams_presburger::{AffineExpr, AffineMap, IterSpace};
 use lams_workloads::{suite, AccessSpec, AppSpec, ProcessSpec, Scale, Workload};
 
@@ -233,8 +233,98 @@ fn layout_for(w: &Workload, code: (u8, u8)) -> Layout {
     }
 }
 
+/// A drawn bus configuration: `None`, FCFS, or windowed — the machine
+/// axis the windowed-arbiter PR added to [`machine_fingerprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BusParams {
+    /// 0 = no bus, 1 = FCFS, 2 = windowed.
+    mode: u8,
+    occupancy: u64,
+    window: u64,
+}
+
+fn bus_params() -> impl Strategy<Value = BusParams> {
+    (0u8..3, 0u64..4, 1u64..5).prop_map(|(mode, occ, win)| BusParams {
+        mode,
+        // Small discrete grids so draws collide often and the `==`
+        // direction of the iff is actually exercised.
+        occupancy: occ * 10,
+        window: win * 64,
+    })
+}
+
+fn machine_for(p: BusParams) -> MachineConfig {
+    let base = MachineConfig::paper_default();
+    match p.mode {
+        0 => base,
+        1 => base.with_bus(BusConfig::fcfs(p.occupancy)),
+        _ => base.with_bus(BusConfig::windowed(p.occupancy, p.window)),
+    }
+}
+
+/// The fields of `BusParams` the simulation (and hence the fingerprint)
+/// can observe: the window is irrelevant without a windowed bus.
+fn observable(p: BusParams) -> (u8, u64, u64) {
+    match p.mode {
+        0 => (0, 0, 0),
+        1 => (1, p.occupancy, 0),
+        _ => (2, p.occupancy, p.window),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Machine fingerprints — the pilot memo's machine axis — collide
+    /// only for identical bus configurations: a memoized pilot can
+    /// never alias across bus modes, occupancies or arbiter windows.
+    #[test]
+    fn machine_fingerprints_collide_only_for_identical_bus_configs(
+        pa in bus_params(),
+        pb in bus_params(),
+    ) {
+        let (ma, mb) = (machine_for(pa), machine_for(pb));
+        prop_assert_eq!(
+            machine_fingerprint(&ma) == machine_fingerprint(&mb),
+            observable(pa) == observable(pb),
+            "bus configs {:?} vs {:?}", pa, pb
+        );
+        // Rebuilt from the same params: always equal.
+        prop_assert_eq!(machine_fingerprint(&machine_for(pa)), machine_fingerprint(&ma));
+    }
+
+    /// Operationally: one cache, two pilot lookups for the same
+    /// workload on two machines — a shared slot iff the bus configs
+    /// agree, so LS results simulated under one arbitration mode are
+    /// never served to a sweep running another.
+    #[test]
+    fn pilot_cache_keys_collide_only_for_identical_bus_configs(
+        wp in workload_params(),
+        pa in bus_params(),
+        pb in bus_params(),
+    ) {
+        let w = build_workload(wp);
+        let (ma, mb) = (machine_for(pa), machine_for(pb));
+        let memo = ArtifactCache::new();
+        let layout = Layout::linear(w.arrays());
+        let sharing = lams_core::SharingMatrix::from_workload(&w);
+        let run = |machine: &MachineConfig| {
+            memo.pilot(&w, machine, || {
+                let mut p = lams_core::LocalityPolicy::new(sharing.clone(), machine.num_cores);
+                lams_core::execute(&w, &layout, &mut p, lams_core::EngineConfig::from(*machine))
+            })
+            .expect("pilot runs")
+        };
+        let ra = run(&ma);
+        let rb = run(&mb);
+        let stats = memo.stats();
+        let same = observable(pa) == observable(pb);
+        prop_assert_eq!(stats.pilot_hits, u64::from(same));
+        prop_assert_eq!(stats.pilot_misses, 2 - u64::from(same));
+        if same {
+            prop_assert_eq!(ra.makespan_cycles, rb.makespan_cycles);
+        }
+    }
 
     /// Workload fingerprints collide only for identical content: equal
     /// parameters (independently rebuilt workloads) fingerprint equal,

@@ -247,7 +247,7 @@ proptest! {
         let layout = Layout::linear(w.arrays());
         let mut machine = MachineConfig::paper_default().with_cores(cores);
         if with_bus == 1 {
-            machine = machine.with_bus(BusConfig { occupancy_cycles: 20 });
+            machine = machine.with_bus(BusConfig::fcfs(20));
         }
         let cfg = EngineConfig::from(machine);
         let sharing = SharingMatrix::from_workload(&w);

@@ -115,19 +115,19 @@ fn ir_matches_scalar_on_remapped_layouts() {
     }
 }
 
-/// Satellite: the engine's bus-mode batching fallback (horizons capped
-/// at the second-smallest busy clock) is pinned differentially — scalar
-/// and IR agree op-for-op under contention, and the bus actually costs
-/// time relative to the uncontended machine.
+/// Satellite: the engine's **FCFS** bus-mode fallback (horizons capped
+/// at the second-smallest busy clock — windowed arbitration batches to
+/// full horizons instead, pinned in `crates/core/tests/bus.rs`) is
+/// pinned differentially — scalar and IR agree op-for-op under
+/// contention, and the bus actually costs time relative to the
+/// uncontended machine.
 #[test]
 fn bus_mode_batching_is_differentially_pinned() {
     let w = Workload::single(suite::track(Scale::Tiny)).unwrap();
     let layout = Layout::linear(w.arrays());
     let make: Box<dyn Fn() -> Box<dyn Policy>> = Box::new(|| Box::new(RandomPolicy::new(3)));
     let no_bus = MachineConfig::paper_default().with_cores(4);
-    let bus = no_bus.with_bus(BusConfig {
-        occupancy_cycles: 12,
-    });
+    let bus = no_bus.with_bus(BusConfig::fcfs(12));
     let free = assert_modes_agree(&w, &layout, &make, no_bus, None);
     let contended = assert_modes_agree(&w, &layout, &make, bus, None);
     // The arbiter actually engaged (and only under the bus config).

@@ -1,49 +1,215 @@
-//! Shared off-chip bus with first-come-first-served arbitration.
+//! Shared off-chip bus arbitration: FCFS and time-windowed epochs.
+//!
+//! The paper's Table 2 models memory as a flat 75-cycle latency; the bus
+//! is an optional extension used by the sensitivity sweeps: each
+//! off-chip transfer occupies the bus for a configurable number of
+//! cycles and requests are ordered by the configured [`BusMode`].
+//!
+//! # Two arbitration disciplines
+//!
+//! * **FCFS** ([`BusMode::Fcfs`]): a request at time `r` is granted at
+//!   `max(r, bus_free)` the moment it is issued. Exact FCFS requires
+//!   the simulation to issue requests in global `(request-time,
+//!   core-id)` order, which is why the scheduling engine caps its
+//!   batches at the second-smallest busy clock in this mode.
+//! * **Windowed** ([`BusMode::Windowed`]): time is divided into epochs
+//!   of `window_cycles`. A request at time `r` is *latched* at the next
+//!   epoch boundary `B(r) = ceil(r / window) * window`, and every
+//!   request latched at one boundary is granted there in
+//!   `(request-time, core-id)` order, each occupying the bus for
+//!   `occupancy_cycles` starting at `max(boundary, bus_free)`. A
+//!   requesting core stalls until its grant, so it issues at most one
+//!   request per boundary and — crucially — its execution *between*
+//!   misses never depends on other cores' progress. That is what lets
+//!   the engine batch to full event horizons in windowed mode; see
+//!   `docs/bus-model.md`.
+//!
+//! With `window_cycles == 1`, `B(r) = r` and windowed arbitration is
+//! bit-identical to FCFS (pinned differentially in
+//! `crates/core/tests/bus.rs`). A zero-occupancy bus never contends in
+//! either mode: every grant is immediate and waits are zero, equivalent
+//! to no bus at all.
+//!
+//! The arbiter offers both an *immediate* interface
+//! ([`Arbiter::acquire`]) for drivers that issue requests in global
+//! time order (one op at a time, smallest clock first — the windowed
+//! grant recurrence then reproduces batch resolution exactly), and a
+//! *deferred* interface ([`Arbiter::latch`] / [`Arbiter::complete`])
+//! for the batched engine, which parks a missing core and resolves the
+//! whole boundary batch once no earlier request can still arrive.
+//!
+//! ```
+//! use lams_mpsoc::{Arbiter, BusConfig};
+//!
+//! let mut bus = Arbiter::new(BusConfig::fcfs(10), 2);
+//! assert_eq!(bus.acquire(100), 100); // idle bus: immediate grant
+//! assert_eq!(bus.acquire(100), 110); // second request waits
+//! assert_eq!(bus.acquire(130), 130); // after the bus drains
+//!
+//! // Windowed: grants snap to the next 50-cycle boundary.
+//! let mut bus = Arbiter::new(BusConfig::windowed(10, 50), 2);
+//! assert_eq!(bus.acquire(101), 150);
+//! assert_eq!(bus.acquire(102), 160); // same epoch: queued behind
+//! assert_eq!(bus.acquire(150), 170); // boundary request: after backlog
+//! ```
 
-use crate::BusConfig;
+use crate::{BusConfig, BusMode, CoreId};
 
-/// A shared bus serializing off-chip transfers.
-///
-/// The paper's Table 2 models memory as a flat 75-cycle latency; this bus
-/// is an optional extension used by the sensitivity sweeps: each off-chip
-/// transfer occupies the bus for a configurable number of cycles and
-/// requests are granted in arrival order.
-///
-/// ```
-/// use lams_mpsoc::{Bus, BusConfig};
-///
-/// let mut bus = Bus::new(BusConfig { occupancy_cycles: 10 });
-/// assert_eq!(bus.acquire(100), 100); // idle bus: immediate grant
-/// assert_eq!(bus.acquire(100), 110); // second request waits
-/// assert_eq!(bus.acquire(130), 130); // after the bus drains
-/// ```
+/// The epoch boundary a request arriving at `r` is latched at.
+#[inline]
+fn boundary_of(r: u64, window: u64) -> u64 {
+    debug_assert!(window > 0, "validated window");
+    r.div_ceil(window).saturating_mul(window)
+}
+
+/// One latched windowed request awaiting its epoch grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Waiting {
+    /// Request arrival time.
+    request: u64,
+    /// Epoch boundary the request is latched at.
+    boundary: u64,
+    /// Grant time once the boundary batch has been resolved.
+    grant: Option<u64>,
+}
+
+/// A shared bus serializing off-chip transfers under a [`BusMode`].
 #[derive(Debug, Clone)]
-pub struct Bus {
+pub struct Arbiter {
     config: BusConfig,
+    /// Time the bus finishes every transfer granted so far.
     next_free: u64,
     transfers: u64,
     total_wait: u64,
+    /// Per-core latched request (windowed deferred interface); at most
+    /// one per core — a stalled core cannot issue another.
+    waiting: Vec<Option<Waiting>>,
 }
 
-impl Bus {
-    /// Creates an idle bus.
-    pub fn new(config: BusConfig) -> Self {
-        Bus {
+impl Arbiter {
+    /// Creates an idle bus serving `num_cores` cores.
+    pub fn new(config: BusConfig, num_cores: usize) -> Self {
+        Arbiter {
             config,
             next_free: 0,
             transfers: 0,
             total_wait: 0,
+            waiting: vec![None; num_cores],
         }
     }
 
-    /// Requests the bus at time `now`; returns the grant time
-    /// (`>= now`) and occupies the bus for the configured cycles.
+    /// The bus configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Whether a miss must park and wait for a boundary resolution
+    /// instead of being granted inline ([`BusConfig::defers`]):
+    /// windowed mode with a non-zero occupancy and a window of at
+    /// least two cycles. A zero-cost transfer never contends, and a
+    /// 1-cycle window is FCFS exactly, so both grant inline.
+    #[inline]
+    pub fn defers(&self) -> bool {
+        self.config.defers()
+    }
+
+    /// Requests the bus at time `now` and returns the grant time
+    /// (`>= now`), occupying the bus for the configured cycles.
+    ///
+    /// In FCFS mode the grant is `max(now, bus_free)`. In windowed mode
+    /// the grant is `max(B(now), bus_free)` with `B` the next epoch
+    /// boundary — **exact** windowed semantics when the caller issues
+    /// requests in global `(request-time, core-id)` order (then the
+    /// grant recurrence equals per-boundary batch resolution), which is
+    /// how [`crate::Machine::exec_op`] drives it. A zero-occupancy bus
+    /// grants at `now` unconditionally.
     pub fn acquire(&mut self, now: u64) -> u64 {
-        let grant = now.max(self.next_free);
+        if self.config.occupancy_cycles == 0 {
+            // A zero-cost transfer never contends: grant immediately and
+            // leave `next_free` untouched, so the result is independent
+            // of the order requests are issued in (the engine batches
+            // freely over a zero-occupancy bus in either mode).
+            self.transfers += 1;
+            return now;
+        }
+        let at = match self.config.mode {
+            BusMode::Fcfs => now,
+            BusMode::Windowed { window_cycles } => boundary_of(now, window_cycles),
+        };
+        let grant = at.max(self.next_free);
         self.next_free = grant + self.config.occupancy_cycles;
         self.transfers += 1;
         self.total_wait += grant - now;
         grant
+    }
+
+    /// Latches a windowed request from `core` arriving at `request`,
+    /// returning the epoch boundary it will be resolved at. The grant
+    /// is computed by [`Arbiter::complete`] once every request of the
+    /// boundary is known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is not in a deferring mode ([`Arbiter::defers`])
+    /// or the core already has a latched request (a stalled core cannot
+    /// issue).
+    pub fn latch(&mut self, core: CoreId, request: u64) -> u64 {
+        let BusMode::Windowed { window_cycles } = self.config.mode else {
+            panic!("latch on a non-windowed bus");
+        };
+        let boundary = boundary_of(request, window_cycles);
+        let slot = &mut self.waiting[core];
+        assert!(slot.is_none(), "core {core} already has a latched request");
+        *slot = Some(Waiting {
+            request,
+            boundary,
+            grant: None,
+        });
+        boundary
+    }
+
+    /// Resolves every yet-ungranted request latched at `boundary`: they
+    /// are served in `(request-time, core-id)` order, each granted at
+    /// `max(boundary, bus_free)` and occupying the bus for the
+    /// configured cycles.
+    fn resolve(&mut self, boundary: u64) {
+        let mut batch: Vec<(u64, CoreId)> = self
+            .waiting
+            .iter()
+            .enumerate()
+            .filter_map(|(core, w)| match w {
+                Some(w) if w.boundary == boundary && w.grant.is_none() => Some((w.request, core)),
+                _ => None,
+            })
+            .collect();
+        batch.sort_unstable();
+        for (request, core) in batch {
+            let grant = boundary.max(self.next_free);
+            self.next_free = grant + self.config.occupancy_cycles;
+            self.transfers += 1;
+            self.total_wait += grant - request;
+            self.waiting[core]
+                .as_mut()
+                .expect("batch member is waiting")
+                .grant = Some(grant);
+        }
+    }
+
+    /// Takes `core`'s resolved `(request, grant)` pair, resolving its
+    /// boundary batch first if needed. The caller (the scheduling
+    /// engine via [`crate::Machine::complete_bus_access`]) must only
+    /// call this once no earlier-boundary request can still arrive —
+    /// i.e. when the core's boundary has become the minimum pending
+    /// scheduling position.
+    ///
+    /// Returns `None` when the core has no latched request.
+    pub fn complete(&mut self, core: CoreId) -> Option<(u64, u64)> {
+        let w = self.waiting.get(core).copied().flatten()?;
+        if w.grant.is_none() {
+            self.resolve(w.boundary);
+        }
+        let w = self.waiting[core].take().expect("request still latched");
+        Some((w.request, w.grant.expect("boundary resolved")))
     }
 
     /// Number of transfers granted so far.
@@ -51,7 +217,7 @@ impl Bus {
         self.transfers
     }
 
-    /// Total cycles spent waiting for grants.
+    /// Total cycles requests spent waiting for grants.
     pub fn total_wait(&self) -> u64 {
         self.total_wait
     }
@@ -68,23 +234,99 @@ mod tests {
 
     #[test]
     fn fcfs_arbitration() {
-        let mut b = Bus::new(BusConfig {
-            occupancy_cycles: 5,
-        });
+        let mut b = Arbiter::new(BusConfig::fcfs(5), 4);
         assert_eq!(b.acquire(0), 0);
         assert_eq!(b.acquire(1), 5);
         assert_eq!(b.acquire(2), 10);
         assert_eq!(b.transfers(), 3);
         assert_eq!(b.total_wait(), (5 - 1) + (10 - 2));
+        assert!(!b.defers());
     }
 
     #[test]
     fn idle_bus_grants_immediately() {
-        let mut b = Bus::new(BusConfig {
-            occupancy_cycles: 5,
-        });
+        let mut b = Arbiter::new(BusConfig::fcfs(5), 4);
         b.acquire(0);
         assert_eq!(b.acquire(100), 100);
         assert_eq!(b.next_free(), 105);
+    }
+
+    #[test]
+    fn boundary_snaps_up_to_the_next_multiple() {
+        assert_eq!(boundary_of(0, 8), 0);
+        assert_eq!(boundary_of(1, 8), 8);
+        assert_eq!(boundary_of(8, 8), 8);
+        assert_eq!(boundary_of(9, 8), 16);
+        // Window 1 is the identity on integer clocks: windowed == FCFS.
+        for r in [0, 1, 7, 100] {
+            assert_eq!(boundary_of(r, 1), r);
+        }
+    }
+
+    #[test]
+    fn windowed_acquire_with_window_one_matches_fcfs() {
+        let mut fcfs = Arbiter::new(BusConfig::fcfs(7), 2);
+        let mut win = Arbiter::new(BusConfig::windowed(7, 1), 2);
+        for now in [0u64, 0, 3, 3, 25, 26, 100] {
+            assert_eq!(fcfs.acquire(now), win.acquire(now), "at {now}");
+        }
+        assert_eq!(fcfs.total_wait(), win.total_wait());
+    }
+
+    #[test]
+    fn latch_and_complete_resolve_a_boundary_batch_in_request_order() {
+        let mut b = Arbiter::new(BusConfig::windowed(10, 50), 3);
+        assert!(b.defers());
+        // Three requests in epoch (0, 50]; latched out of arrival order.
+        assert_eq!(b.latch(2, 30), 50);
+        assert_eq!(b.latch(0, 41), 50);
+        assert_eq!(b.latch(1, 30), 50);
+        // Completion in any core order: grants follow (request, core).
+        assert_eq!(b.complete(0), Some((41, 70)));
+        assert_eq!(b.complete(1), Some((30, 50)));
+        assert_eq!(b.complete(2), Some((30, 60)));
+        assert_eq!(b.transfers(), 3);
+        assert_eq!(b.total_wait(), (50 - 30) + (60 - 30) + (70 - 41));
+        assert_eq!(b.complete(0), None, "request consumed");
+    }
+
+    #[test]
+    fn deferred_batches_match_in_order_immediate_acquires() {
+        // Driving the immediate interface in global time order equals
+        // latch/complete batch resolution.
+        let reqs = [(0usize, 3u64), (1, 3), (0, 22), (1, 57), (0, 58)];
+        let mut imm = Arbiter::new(BusConfig::windowed(9, 16), 2);
+        let grants_imm: Vec<u64> = reqs.iter().map(|&(_, r)| imm.acquire(r)).collect();
+        let mut def = Arbiter::new(BusConfig::windowed(9, 16), 2);
+        let mut grants_def = Vec::new();
+        // Latch + complete epoch by epoch (requests above are sorted).
+        let mut i = 0;
+        while i < reqs.len() {
+            let b = boundary_of(reqs[i].1, 16);
+            let mut batch = Vec::new();
+            while i < reqs.len() && boundary_of(reqs[i].1, 16) == b {
+                def.latch(reqs[i].0, reqs[i].1);
+                batch.push(reqs[i].0);
+                i += 1;
+            }
+            for core in batch {
+                grants_def.push(def.complete(core).expect("latched").1);
+            }
+        }
+        assert_eq!(grants_imm, grants_def);
+        assert_eq!(imm.total_wait(), def.total_wait());
+    }
+
+    #[test]
+    fn zero_occupancy_never_waits() {
+        let mut b = Arbiter::new(BusConfig::windowed(0, 64), 2);
+        assert!(!b.defers(), "zero-cost transfers never park");
+        assert_eq!(b.acquire(13), 13);
+        assert_eq!(b.acquire(13), 13);
+        assert_eq!(b.total_wait(), 0);
+        let mut b = Arbiter::new(BusConfig::fcfs(0), 2);
+        assert_eq!(b.acquire(5), 5);
+        assert_eq!(b.acquire(5), 5);
+        assert_eq!(b.total_wait(), 0);
     }
 }

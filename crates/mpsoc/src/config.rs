@@ -135,12 +135,125 @@ impl fmt::Display for CacheConfig {
     }
 }
 
+/// How the shared bus orders off-chip transfer requests.
+///
+/// Both modes are deterministic; they differ in *when* contention
+/// information propagates between cores, which is what decides how far
+/// the scheduling engine may batch a core's execution (see
+/// `docs/bus-model.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BusMode {
+    /// First-come-first-served: every request is granted immediately at
+    /// `max(request_time, bus_free)`, in exact global `(request-time,
+    /// core-id)` order. This is the reference model; it forces the
+    /// engine to interleave cores op-by-op under contention.
+    #[default]
+    Fcfs,
+    /// Time-windowed arbitration: a request arriving at time `r` is
+    /// latched at the next epoch boundary `ceil(r / window) * window`
+    /// and granted there, with all same-boundary requests served in
+    /// `(request-time, core-id)` order. Between misses a core's
+    /// execution is bus-independent, so the engine batches to full
+    /// event horizons. `window_cycles == 1` is bit-identical to
+    /// [`BusMode::Fcfs`].
+    Windowed {
+        /// Epoch length in cycles (`>= 1`).
+        window_cycles: u64,
+    },
+}
+
+impl fmt::Display for BusMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusMode::Fcfs => write!(f, "fcfs"),
+            BusMode::Windowed { window_cycles } => write!(f, "windowed/{window_cycles}"),
+        }
+    }
+}
+
 /// Shared-bus contention model for off-chip accesses (an optional
 /// extension beyond Table 2's fixed-latency memory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BusConfig {
-    /// Cycles the bus is occupied per off-chip transfer.
+    /// Cycles the bus is occupied per off-chip transfer. Zero means the
+    /// bus never contends: every request is granted immediately in
+    /// either mode, equivalent to `bus: None`.
     pub occupancy_cycles: u64,
+    /// Request-ordering discipline (defaults to [`BusMode::Fcfs`]).
+    pub mode: BusMode,
+}
+
+impl BusConfig {
+    /// First-come-first-served bus occupying `occupancy_cycles` per
+    /// transfer.
+    pub fn fcfs(occupancy_cycles: u64) -> Self {
+        BusConfig {
+            occupancy_cycles,
+            mode: BusMode::Fcfs,
+        }
+    }
+
+    /// Time-windowed bus: transfers are granted at `window_cycles`
+    /// epoch boundaries.
+    pub fn windowed(occupancy_cycles: u64, window_cycles: u64) -> Self {
+        BusConfig {
+            occupancy_cycles,
+            mode: BusMode::Windowed { window_cycles },
+        }
+    }
+
+    /// The arbitration window, when windowed.
+    pub fn window(&self) -> Option<u64> {
+        match self.mode {
+            BusMode::Fcfs => None,
+            BusMode::Windowed { window_cycles } => Some(window_cycles),
+        }
+    }
+
+    /// Whether exact simulation requires issuing ops in global
+    /// `(clock, core)` order — i.e. the per-op interleaving is
+    /// observable through the bus. True for a contended FCFS bus and
+    /// for a 1-cycle window (whose epoch grants degenerate to FCFS
+    /// exactly, so the engine runs it on the FCFS path, eager
+    /// preemption included). A zero-occupancy bus never waits and a
+    /// wider window defers misses to epoch boundaries instead
+    /// ([`BusConfig::defers`]), so neither constrains batching.
+    pub fn serializes_ops(&self) -> bool {
+        self.occupancy_cycles > 0
+            && match self.mode {
+                BusMode::Fcfs => true,
+                BusMode::Windowed { window_cycles } => window_cycles == 1,
+            }
+    }
+
+    /// Whether a miss parks until its epoch boundary resolves instead
+    /// of being granted inline: a contended windowed bus with a window
+    /// of at least two cycles (see [`BusConfig::serializes_ops`] for
+    /// why a 1-cycle window stays on the FCFS path).
+    pub fn defers(&self) -> bool {
+        self.occupancy_cycles > 0
+            && matches!(self.mode, BusMode::Windowed { window_cycles } if window_cycles > 1)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a zero-cycle window.
+    pub fn validate(&self) -> Result<()> {
+        if let BusMode::Windowed { window_cycles: 0 } = self.mode {
+            return Err(Error::InvalidConfig(
+                "bus window must be at least one cycle".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BusConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} x{}cy", self.mode, self.occupancy_cycles)
+    }
 }
 
 /// Full machine description (Table 2 of the paper plus extensions).
@@ -201,6 +314,9 @@ impl MachineConfig {
                 "miss latency below hit latency".into(),
             ));
         }
+        if let Some(bus) = &self.bus {
+            bus.validate()?;
+        }
         self.cache.validate()
     }
 
@@ -250,7 +366,11 @@ impl fmt::Display for MachineConfig {
             self.cache,
             self.hit_latency,
             self.miss_latency
-        )
+        )?;
+        if let Some(bus) = &self.bus {
+            write!(f, ", bus {bus}")?;
+        }
+        Ok(())
     }
 }
 
@@ -315,5 +435,24 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("8 cores @ 200 MHz"));
         assert!(s.contains("8KB 2-way"));
+        assert!(!s.contains("bus"));
+        let s = m.with_bus(BusConfig::windowed(20, 64)).to_string();
+        assert!(s.contains("bus windowed/64 x20cy"), "{s}");
+    }
+
+    #[test]
+    fn bus_config_validation() {
+        assert!(BusConfig::fcfs(0).validate().is_ok());
+        assert!(BusConfig::windowed(20, 1).validate().is_ok());
+        assert!(BusConfig::windowed(20, 0).validate().is_err());
+        let m = MachineConfig::paper_default().with_bus(BusConfig::windowed(20, 0));
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn bus_config_accessors() {
+        assert_eq!(BusConfig::fcfs(9).window(), None);
+        assert_eq!(BusConfig::windowed(9, 128).window(), Some(128));
+        assert_eq!(BusMode::default(), BusMode::Fcfs);
     }
 }

@@ -18,6 +18,12 @@ pub enum Error {
         /// Number of cores in the machine.
         num_cores: usize,
     },
+    /// [`complete_bus_access`](crate::Machine::complete_bus_access) was
+    /// called on a core with no parked windowed-bus request.
+    NoParkedAccess {
+        /// The core in question.
+        core: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -26,6 +32,9 @@ impl fmt::Display for Error {
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::NoSuchCore { core, num_cores } => {
                 write!(f, "core {core} out of range (machine has {num_cores})")
+            }
+            Error::NoParkedAccess { core } => {
+                write!(f, "core {core} has no parked bus access to complete")
             }
         }
     }

@@ -133,6 +133,16 @@ pub fn machine_fingerprint(m: &crate::MachineConfig) -> Fingerprint {
         Some(bus) => {
             h.write_bool(true);
             h.write_u64(bus.occupancy_cycles);
+            // The arbitration mode changes simulated schedules, so
+            // memoized pilots must never alias across it: feed a
+            // discriminant plus the windowed epoch length.
+            match bus.mode {
+                crate::BusMode::Fcfs => h.write_u64(0),
+                crate::BusMode::Windowed { window_cycles } => {
+                    h.write_u64(1);
+                    h.write_u64(window_cycles);
+                }
+            }
         }
     }
     h.write_bool(m.classify_misses);
@@ -178,14 +188,26 @@ mod tests {
         assert_eq!(fp, machine_fingerprint(&base.clone()));
         assert_ne!(fp, machine_fingerprint(&base.with_cores(4)));
         assert_ne!(fp, machine_fingerprint(&base.with_classification(false)));
-        assert_ne!(
-            fp,
-            machine_fingerprint(&base.with_bus(BusConfig {
-                occupancy_cycles: 4
-            }))
-        );
+        assert_ne!(fp, machine_fingerprint(&base.with_bus(BusConfig::fcfs(4))));
         let mut slow = base;
         slow.miss_latency += 1;
         assert_ne!(fp, machine_fingerprint(&slow));
+    }
+
+    #[test]
+    fn machine_fingerprint_separates_bus_modes_and_windows() {
+        let base = MachineConfig::paper_default();
+        let fcfs = machine_fingerprint(&base.with_bus(BusConfig::fcfs(20)));
+        let w1 = machine_fingerprint(&base.with_bus(BusConfig::windowed(20, 1)));
+        let w64 = machine_fingerprint(&base.with_bus(BusConfig::windowed(20, 64)));
+        // Windowed w=1 *simulates* identically to FCFS, but it is a
+        // distinct configuration; keys never alias across modes.
+        assert_ne!(fcfs, w1);
+        assert_ne!(w1, w64);
+        assert_ne!(fcfs, w64);
+        assert_eq!(
+            w64,
+            machine_fingerprint(&base.with_bus(BusConfig::windowed(20, 64)))
+        );
     }
 }

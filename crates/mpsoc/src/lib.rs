@@ -16,7 +16,8 @@
 //!   cold/capacity/conflict (3C) miss classification,
 //! * [`TraceOp`] — per-process memory-reference streams (never
 //!   materialized: generators yield ops lazily),
-//! * [`Bus`] — optional shared-bus contention for off-chip accesses,
+//! * [`Arbiter`] — optional shared-bus contention for off-chip accesses,
+//!   with FCFS and time-windowed ([`BusMode`]) arbitration,
 //! * [`Machine`] — N cores with private caches and per-core clocks; a
 //!   scheduling engine executes trace ops on cores in global time order,
 //! * [`EnergyModel`] — on-chip vs off-chip access energy, supporting the
@@ -35,13 +36,18 @@
 //! * `Compute(c)` costs `c` cycles;
 //! * an access that hits costs `hit_latency`;
 //! * an access that misses costs `hit_latency + miss_latency` (probe
-//!   plus off-chip fetch), plus bus waiting when a [`Bus`] is
+//!   plus off-chip fetch), plus bus waiting when an [`Arbiter`] is
 //!   configured (request issued at `core_clock + hit_latency`, granted
-//!   FCFS in global time order).
+//!   FCFS in global time order or latched at time-window boundaries —
+//!   see [`BusMode`] and `docs/bus-model.md`).
 //!
 //! Every cost advances only the executing core's local clock, so a
 //! scheduling engine that always runs the minimum-clock core simulates
-//! cross-core interactions (the bus) in exact global time order.
+//! cross-core interactions (an FCFS bus) in exact global time order;
+//! under windowed arbitration a missing core instead *parks* until its
+//! epoch boundary ([`BatchOutcome::parked`] /
+//! [`Machine::complete_bus_access`]), which frees the engine to batch
+//! cores independently between misses.
 //!
 //! # Fast-path invariants
 //!
@@ -97,9 +103,9 @@ mod source;
 mod stats;
 mod trace;
 
-pub use bus::Bus;
+pub use bus::Arbiter;
 pub use cache::{AccessOutcome, Cache, MissKind};
-pub use config::{BusConfig, CacheConfig, MachineConfig};
+pub use config::{BusConfig, BusMode, CacheConfig, MachineConfig};
 pub use energy::EnergyModel;
 pub use error::{Error, Result};
 pub use fingerprint::{machine_fingerprint, Fingerprint, FingerprintHasher};

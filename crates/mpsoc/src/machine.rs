@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::{
-    Bus, Cache, CoreStats, Error, MachineConfig, MachineStats, Result, Segment, TraceOp,
+    Arbiter, Cache, CoreStats, Error, MachineConfig, MachineStats, Result, Segment, TraceOp,
     TraceSource,
 };
 
@@ -23,16 +23,27 @@ struct Core {
 /// Result of a batched [`Machine::exec_until`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchOutcome {
-    /// Trace operations executed in this batch.
+    /// Trace operations *completed* in this batch (a parked access — see
+    /// [`BatchOutcome::parked`] — completes later and is not counted).
     pub ops: u64,
     /// Whether the trace iterator was exhausted (the process finished).
     pub exhausted: bool,
     /// Core clock just before the final executed op (equal to the clock
-    /// at entry when no op ran). The engine uses this as the event key
-    /// for quantum preemptions: the seed engine fired a preemption right
-    /// after the crossing op, whose scheduling position is its *pre-op*
-    /// clock.
+    /// at entry when no op ran; equal to the parked access's pre-op
+    /// clock when the batch parked). The engine uses this as the event
+    /// key for quantum preemptions: the seed engine fired a preemption
+    /// right after the crossing op, whose scheduling position is its
+    /// *pre-op* clock.
     pub last_op_start: u64,
+    /// `Some(boundary)` when the batch stopped at a miss that latched a
+    /// request on a windowed bus ([`crate::BusMode::Windowed`]): the
+    /// core is stalled (its clock still at the access's pre-op clock,
+    /// the cache already probed) until
+    /// [`Machine::complete_bus_access`] applies the granted cost. The
+    /// value is the epoch boundary the request resolves at — the
+    /// earliest time anything can happen on this core, i.e. its next
+    /// scheduling position.
+    pub parked: Option<u64>,
 }
 
 /// An embedded MPSoC: cores with private L1 caches sharing off-chip
@@ -50,7 +61,23 @@ pub struct BatchOutcome {
 pub struct Machine {
     config: MachineConfig,
     cores: Vec<Core>,
-    bus: Option<Bus>,
+    bus: Option<Arbiter>,
+}
+
+/// Outcome of executing one memory access on a core.
+enum Access {
+    /// The access completed; the core's clock and stats are updated.
+    Done {
+        /// Whether it hit in the cache.
+        hit: bool,
+    },
+    /// A miss latched a request on a deferring (windowed) bus: the
+    /// cache was probed and updated, but the clock/stats cost is
+    /// pending until [`Machine::complete_bus_access`].
+    Parked {
+        /// Epoch boundary the request resolves at.
+        boundary: u64,
+    },
 }
 
 impl Machine {
@@ -82,7 +109,7 @@ impl Machine {
         Ok(Machine {
             config,
             cores,
-            bus: config.bus.map(Bus::new),
+            bus: config.bus.map(|b| Arbiter::new(b, config.num_cores)),
         })
     }
 
@@ -117,6 +144,13 @@ impl Machine {
     /// `hit_latency`; a miss costs `hit_latency + miss_latency` (probe
     /// plus off-chip fetch) plus any bus waiting when a bus is configured.
     ///
+    /// On a windowed bus the grant is computed inline via
+    /// [`Arbiter::acquire`] — exact windowed semantics *provided the
+    /// caller issues ops in global `(clock, core)` order*, one op at a
+    /// time (the same driving discipline exact FCFS already requires).
+    /// The batched executors instead park at windowed misses so the
+    /// engine can run cores ahead; see [`Machine::exec_until`].
+    ///
     /// # Errors
     ///
     /// Returns [`Error::NoSuchCore`] for an out-of-range core.
@@ -127,34 +161,39 @@ impl Machine {
             .cores
             .get_mut(core)
             .ok_or(Error::NoSuchCore { core, num_cores: n })?;
-        let cost = Self::exec_on(c, &mut self.bus, &self.config, op);
-        Ok(cost)
-    }
-
-    /// Shared per-op cost model: a compute op costs its cycle count; a
-    /// cache hit costs `hit_latency`; a miss costs `hit_latency +
-    /// miss_latency` plus any bus waiting when a bus is configured.
-    #[inline]
-    fn exec_on(c: &mut Core, bus: &mut Option<Bus>, config: &MachineConfig, op: TraceOp) -> u64 {
+        let before = c.clock;
         match op {
             TraceOp::Compute(cycles) => {
                 c.clock += cycles;
                 c.stats.busy_cycles += cycles;
                 c.stats.ops += 1;
-                cycles
             }
-            TraceOp::Access { addr, .. } => Self::exec_access(c, bus, config, addr).0,
+            TraceOp::Access { addr, .. } => {
+                // PARK = false: grants resolve inline in either mode.
+                let Access::Done { .. } =
+                    Self::exec_access::<false>(core, c, &mut self.bus, &self.config, addr)
+                else {
+                    unreachable!("inline access never parks")
+                };
+            }
         }
+        Ok(c.clock - before)
     }
 
-    /// Executes one memory access on a core, returning `(cost, hit)`.
+    /// Executes one memory access on a core. With `PARK`, a miss on a
+    /// deferring bus ([`Arbiter::defers`]) latches a request and
+    /// returns [`Access::Parked`] *without* advancing the clock or
+    /// stats (the probe still updates the cache — residency is
+    /// timing-independent); otherwise the grant is taken inline from
+    /// [`Arbiter::acquire`] and the full cost is applied.
     #[inline]
-    fn exec_access(
+    fn exec_access<const PARK: bool>(
+        core: CoreId,
         c: &mut Core,
-        bus: &mut Option<Bus>,
+        bus: &mut Option<Arbiter>,
         config: &MachineConfig,
         addr: u64,
-    ) -> (u64, bool) {
+    ) -> Access {
         let hit = c.cache.access(addr).is_hit();
         let cost = if hit {
             config.hit_latency
@@ -162,6 +201,11 @@ impl Machine {
             let mut cost = config.hit_latency + config.miss_latency;
             if let Some(bus) = bus {
                 let request_at = c.clock + config.hit_latency;
+                if PARK && bus.defers() {
+                    return Access::Parked {
+                        boundary: bus.latch(core, request_at),
+                    };
+                }
                 let grant = bus.acquire(request_at);
                 let wait = grant - request_at;
                 c.stats.bus_wait_cycles += wait;
@@ -172,7 +216,51 @@ impl Machine {
         c.clock += cost;
         c.stats.busy_cycles += cost;
         c.stats.ops += 1;
-        (cost, hit)
+        Access::Done { hit }
+    }
+
+    /// Completes a parked windowed-bus access on `core` (see
+    /// [`BatchOutcome::parked`]): resolves the core's epoch batch if it
+    /// has not been resolved yet, applies the miss cost `hit_latency +
+    /// miss_latency + (grant - request)` to the core's clock and
+    /// statistics, and returns the completed one-op outcome (its
+    /// [`BatchOutcome::last_op_start`] is the access's pre-op clock —
+    /// the preemption key when the access crossed the quantum).
+    ///
+    /// The caller must not invoke this before the access's boundary has
+    /// become the minimum pending scheduling position across cores —
+    /// otherwise a not-yet-issued earlier request could be excluded
+    /// from the batch. The engine guarantees this by keying the parked
+    /// core at its boundary in the busy heap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchCore`] for an out-of-range core and
+    /// [`Error::NoParkedAccess`] when the core has nothing parked.
+    pub fn complete_bus_access(&mut self, core: CoreId) -> Result<BatchOutcome> {
+        let n = self.cores.len();
+        let c = self
+            .cores
+            .get_mut(core)
+            .ok_or(Error::NoSuchCore { core, num_cores: n })?;
+        let (request, grant) = self
+            .bus
+            .as_mut()
+            .and_then(|b| b.complete(core))
+            .ok_or(Error::NoParkedAccess { core })?;
+        let wait = grant - request;
+        let cost = self.config.hit_latency + self.config.miss_latency + wait;
+        let last_op_start = c.clock;
+        c.stats.bus_wait_cycles += wait;
+        c.clock += cost;
+        c.stats.busy_cycles += cost;
+        c.stats.ops += 1;
+        Ok(BatchOutcome {
+            ops: 1,
+            exhausted: false,
+            last_op_start,
+            parked: None,
+        })
     }
 
     /// Executes trace ops from `ops` on `core` until the core's clock
@@ -184,9 +272,15 @@ impl Machine {
     ///
     /// This is the batched fast path: the scheduling engine runs the
     /// minimum-clock core in this tight loop until the next event
-    /// horizon instead of paying the full dispatch-scan per op. Because
-    /// only the globally minimum-clock core executes at any time, bus
-    /// arbitration still observes requests in global time order.
+    /// horizon instead of paying the full dispatch-scan per op. On an
+    /// FCFS bus, only the globally minimum-clock core executes at any
+    /// time, so bus arbitration observes requests in global time order.
+    /// On a *windowed* bus the engine instead batches cores to full
+    /// horizons, which is sound because execution between misses never
+    /// touches the bus: the first miss latches its epoch request and
+    /// **parks** the batch ([`BatchOutcome::parked`]) — the clock stays
+    /// at the access's pre-op value until
+    /// [`Machine::complete_bus_access`] applies the granted cost.
     ///
     /// # Errors
     ///
@@ -211,16 +305,37 @@ impl Machine {
                     ops: executed,
                     exhausted: true,
                     last_op_start,
+                    parked: None,
                 });
             };
             last_op_start = c.clock;
-            Self::exec_on(c, &mut self.bus, &self.config, op);
+            match op {
+                TraceOp::Compute(cycles) => {
+                    c.clock += cycles;
+                    c.stats.busy_cycles += cycles;
+                    c.stats.ops += 1;
+                }
+                TraceOp::Access { addr, .. } => {
+                    match Self::exec_access::<true>(core, c, &mut self.bus, &self.config, addr) {
+                        Access::Done { .. } => {}
+                        Access::Parked { boundary } => {
+                            return Ok(BatchOutcome {
+                                ops: executed,
+                                exhausted: false,
+                                last_op_start,
+                                parked: Some(boundary),
+                            });
+                        }
+                    }
+                }
+            }
             executed += 1;
             if c.clock >= horizon {
                 return Ok(BatchOutcome {
                     ops: executed,
                     exhausted: false,
                     last_op_start,
+                    parked: None,
                 });
             }
         }
@@ -253,7 +368,11 @@ impl Machine {
     /// stop strictly before the horizon and hand over to the per-op
     /// probe. An op with *arbitration-dependent* cost (a miss in bus
     /// mode) is never bulked — any future bulk extension to bus-visible
-    /// ops must keep that property or bit-identity breaks.
+    /// ops must keep that property or bit-identity breaks. On a
+    /// *windowed* bus a probed miss parks the batch exactly as in
+    /// [`Machine::exec_until`] (see [`BatchOutcome::parked`]); the
+    /// bulk-collapsed spans are all guaranteed hits, so whole bus
+    /// windows between misses still reduce to arithmetic.
     ///
     /// # Errors
     ///
@@ -278,6 +397,18 @@ impl Machine {
                 ops: executed,
                 exhausted,
                 last_op_start,
+                parked: None,
+            })
+        };
+        // A probed access parked on a windowed bus: the in-flight op is
+        // consumed from the source (its cache probe already happened)
+        // and completes via `complete_bus_access`.
+        let parked = |executed, last_op_start, boundary| {
+            Ok(BatchOutcome {
+                ops: executed,
+                exhausted: false,
+                last_op_start,
+                parked: Some(boundary),
             })
         };
 
@@ -320,10 +451,15 @@ impl Machine {
                     let mut i = 0u64;
                     while i < count {
                         // Probe one access through the general path
-                        // (may miss, may wait on the bus).
+                        // (may miss, may wait on or park at the bus).
                         let addr = base.wrapping_add(stride.wrapping_mul(i as i64) as u64);
                         last_op_start = c.clock;
-                        Self::exec_access(c, &mut self.bus, &self.config, addr);
+                        if let Access::Parked { boundary } =
+                            Self::exec_access::<true>(core, c, &mut self.bus, &self.config, addr)
+                        {
+                            src.advance(i + 1);
+                            return parked(executed, last_op_start, boundary);
+                        }
                         executed += 1;
                         i += 1;
                         if c.clock >= horizon {
@@ -365,8 +501,19 @@ impl Machine {
                         let mut all_hit = true;
                         for lane in lanes {
                             last_op_start = c.clock;
-                            let (_, hit) =
-                                Self::exec_access(c, &mut self.bus, &self.config, lane.addr_at(r));
+                            let hit = match Self::exec_access::<true>(
+                                core,
+                                c,
+                                &mut self.bus,
+                                &self.config,
+                                lane.addr_at(r),
+                            ) {
+                                Access::Done { hit } => hit,
+                                Access::Parked { boundary } => {
+                                    src.advance(consumed + 1);
+                                    return parked(executed, last_op_start, boundary);
+                                }
+                            };
                             all_hit &= hit;
                             executed += 1;
                             consumed += 1;
@@ -478,8 +625,8 @@ impl Machine {
         Ok(())
     }
 
-    /// The shared bus, when configured.
-    pub fn bus(&self) -> Option<&Bus> {
+    /// The shared bus arbiter, when configured.
+    pub fn bus(&self) -> Option<&Arbiter> {
         self.bus.as_ref()
     }
 
@@ -600,9 +747,7 @@ mod tests {
 
     #[test]
     fn bus_contention_serializes_misses() {
-        let cfg = MachineConfig::paper_default().with_bus(BusConfig {
-            occupancy_cycles: 20,
-        });
+        let cfg = MachineConfig::paper_default().with_bus(BusConfig::fcfs(20));
         let mut m = Machine::new(cfg);
         // Both cores miss at their local time 0; the second is delayed.
         let c0 = m.exec_op(0, TraceOp::read(0)).unwrap();
@@ -610,6 +755,51 @@ mod tests {
         assert_eq!(c0, 77);
         assert_eq!(c1, 77 + 20);
         assert_eq!(m.core_stats(1).unwrap().bus_wait_cycles, 20);
+    }
+
+    #[test]
+    fn windowed_exec_op_snaps_grants_to_epoch_boundaries() {
+        let cfg = MachineConfig::paper_default().with_bus(BusConfig::windowed(20, 50));
+        let mut m = Machine::new(cfg);
+        // Miss at clock 0: request at 0 + hit(2) = 2, granted at the
+        // epoch boundary 50 -> wait 48, cost 77 + 48.
+        assert_eq!(m.exec_op(0, TraceOp::read(0)).unwrap(), 77 + 48);
+        assert_eq!(m.core_stats(0).unwrap().bus_wait_cycles, 48);
+        // Same-epoch second core queues behind: request 2, grant 70.
+        assert_eq!(m.exec_op(1, TraceOp::read(4096)).unwrap(), 77 + 68);
+        assert_eq!(m.bus().unwrap().transfers(), 2);
+    }
+
+    #[test]
+    fn windowed_batch_parks_and_completes() {
+        let cfg = MachineConfig::paper_default().with_bus(BusConfig::windowed(20, 50));
+        let mut m = Machine::new(cfg);
+        let mut ops = [TraceOp::compute(10), TraceOp::read(0), TraceOp::read(4)].into_iter();
+        let out = m.exec_until(0, &mut ops, u64::MAX).unwrap();
+        // The compute completed; the miss latched at boundary 50 (request
+        // 10 + 2 = 12) and parked with the clock still at its pre-op 10.
+        assert_eq!(out.ops, 1);
+        assert_eq!(out.parked, Some(50));
+        assert_eq!(out.last_op_start, 10);
+        assert!(!out.exhausted);
+        assert_eq!(m.core_clock(0).unwrap(), 10);
+        // The probe already updated the cache (1 miss recorded).
+        assert_eq!(m.core_stats(0).unwrap().cache.misses, 1);
+        // Completing applies cost 77 + (50 - 12) and the one-op outcome.
+        let done = m.complete_bus_access(0).unwrap();
+        assert_eq!(done.ops, 1);
+        assert_eq!(done.last_op_start, 10);
+        assert_eq!(m.core_clock(0).unwrap(), 10 + 77 + 38);
+        assert_eq!(m.core_stats(0).unwrap().bus_wait_cycles, 38);
+        // Nothing left parked; the guaranteed hit then executes inline.
+        assert!(matches!(
+            m.complete_bus_access(0),
+            Err(Error::NoParkedAccess { core: 0 })
+        ));
+        let out = m.exec_until(0, &mut ops, u64::MAX).unwrap();
+        assert_eq!(out.ops, 1);
+        assert!(out.exhausted);
+        assert_eq!(m.core_stats(0).unwrap().cache.hits, 1);
     }
 
     #[test]

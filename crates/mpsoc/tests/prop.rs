@@ -407,21 +407,25 @@ proptest! {
     /// Differential: the batched segment executor
     /// (`Machine::exec_source_until`) is bit-identical to feeding the
     /// decoded op stream through the per-op `Machine::exec_until` —
-    /// same `BatchOutcome`s (ops, exhaustion, preemption keys), same
-    /// clocks, same statistics, and same final cache state — across
-    /// random segment programs and arbitrary horizon schedules,
-    /// with and without a shared bus.
+    /// same `BatchOutcome`s (ops, exhaustion, preemption keys, parked
+    /// boundaries), same clocks, same statistics, and same final cache
+    /// state — across random segment programs and arbitrary horizon
+    /// schedules, without a bus, under FCFS contention, and under
+    /// windowed arbitration (where both paths must park at the same
+    /// miss and complete to the same grant).
     #[test]
     fn source_executor_matches_per_op_executor(
         segs in arb_segments(),
         steps in prop::collection::vec(0u64..300, 1..40),
-        with_bus in (0u8..2).prop_map(|b| b == 1),
+        bus_mode in 0u8..3,
     ) {
         // A small 2-way cache so evictions and conflicts actually occur.
         let mut cfg = MachineConfig::paper_default().with_cores(1);
         cfg.cache = CacheConfig::new(512, 2, 32).unwrap();
-        if with_bus {
-            cfg.bus = Some(BusConfig { occupancy_cycles: 9 });
+        match bus_mode {
+            1 => cfg.bus = Some(BusConfig::fcfs(9)),
+            2 => cfg.bus = Some(BusConfig::windowed(9, 32)),
+            _ => {}
         }
         let mut src = VecSource::new(segs.clone());
         let ops = decode_segments(&segs);
@@ -437,6 +441,16 @@ proptest! {
             prop_assert_eq!(oa, ob, "batch outcome diverged at horizon {}", h);
             prop_assert_eq!(fast.core_clock(0).unwrap(), slow.core_clock(0).unwrap());
             prop_assert_eq!(fast.core_stats(0).unwrap(), slow.core_stats(0).unwrap());
+            if oa.parked.is_some() {
+                // Single core: the epoch batch is complete; both paths
+                // must apply the identical granted cost.
+                let ca = fast.complete_bus_access(0).unwrap();
+                let cb = slow.complete_bus_access(0).unwrap();
+                prop_assert_eq!(ca, cb, "completion diverged");
+                prop_assert_eq!(fast.core_clock(0).unwrap(), slow.core_clock(0).unwrap());
+                prop_assert_eq!(fast.core_stats(0).unwrap(), slow.core_stats(0).unwrap());
+                continue;
+            }
             if oa.exhausted {
                 break;
             }

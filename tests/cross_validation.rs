@@ -6,9 +6,9 @@
 
 use std::collections::BTreeSet;
 
-use lams::core::{Experiment, PolicyKind};
+use lams::core::{Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
 use lams::layout::{HalfPage, Layout, RemapAssignment};
-use lams::mpsoc::{CacheConfig, MachineConfig, TraceOp};
+use lams::mpsoc::{BusConfig, CacheConfig, MachineConfig, TraceOp};
 use lams::workloads::{suite, Scale, Workload};
 
 /// Replays a process trace and collects the first byte address of each
@@ -125,6 +125,103 @@ fn golden_fig6_makespans_are_reproduced_exactly() {
             got, expected,
             "golden makespan drifted for {name}/{kind}: got {got}, recorded {expected}"
         );
+    }
+}
+
+/// Golden fixed-seed makespans for **bus mode**: the fig6 Tiny grid on
+/// the Table 2 machine behind a contended time-windowed bus
+/// (`BusConfig::windowed(20, 256)` — 20-cycle transfers granted at
+/// 256-cycle epoch boundaries). Recorded from the PR 5 windowed-arbiter
+/// engine, whose schedules are pinned differentially against the per-op
+/// reference in `crates/core/tests/bus.rs`; any future engine change
+/// that silently shifts contended schedules fails here. Re-record (and
+/// say so in the changelog) only for intentional *model* changes.
+const GOLDEN_FIG6_TINY_BUS: &[(&str, PolicyKind, u64)] = &[
+    ("Med-Im04", PolicyKind::Random, 13953),
+    ("Med-Im04", PolicyKind::RoundRobin, 12713),
+    ("Med-Im04", PolicyKind::Locality, 11855),
+    ("MxM", PolicyKind::Random, 20593),
+    ("MxM", PolicyKind::RoundRobin, 20593),
+    ("MxM", PolicyKind::Locality, 20593),
+    ("Radar", PolicyKind::Random, 26737),
+    ("Radar", PolicyKind::RoundRobin, 26721),
+    ("Radar", PolicyKind::Locality, 26225),
+    ("Shape", PolicyKind::Random, 20873),
+    ("Shape", PolicyKind::RoundRobin, 34185),
+    ("Shape", PolicyKind::Locality, 18825),
+    ("Track", PolicyKind::Random, 18693),
+    ("Track", PolicyKind::RoundRobin, 27653),
+    ("Track", PolicyKind::Locality, 16953),
+    ("Usonic", PolicyKind::Random, 20849),
+    ("Usonic", PolicyKind::RoundRobin, 21361),
+    ("Usonic", PolicyKind::Locality, 17265),
+];
+
+/// FNV-1a over the golden bus-mode makespan stream — one pinned number
+/// for the whole contended grid (the bus-free grid's counterpart is
+/// 0xd7f2a86da3cb3e3d, pinned in `crates/core/tests/memo.rs`).
+const GOLDEN_BUS_CHECKSUM: u64 = 0xe822b756b2a7a793;
+
+fn golden_bus_machine() -> MachineConfig {
+    MachineConfig::paper_default().with_bus(BusConfig::windowed(20, 256))
+}
+
+#[test]
+fn golden_bus_mode_makespans_are_reproduced_exactly() {
+    let mut sum: u64 = 0xCBF2_9CE4_8422_2325;
+    for &(name, kind, expected) in GOLDEN_FIG6_TINY_BUS {
+        let app = suite::by_name(name, Scale::Tiny).expect("suite app");
+        let exp = Experiment::isolated(&app, golden_bus_machine()).with_seed(12345);
+        let got = exp.run(kind).expect("policy runs").makespan_cycles;
+        assert_eq!(
+            got, expected,
+            "bus-mode golden makespan drifted for {name}/{kind}: got {got}, recorded {expected}"
+        );
+        for b in got.to_le_bytes() {
+            sum ^= b as u64;
+            sum = sum.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    assert_eq!(sum, GOLDEN_BUS_CHECKSUM, "bus-mode golden checksum drifted");
+}
+
+/// The same contended grid through the sweep subsystem: reports are
+/// bit-identical at 1 and 4 worker threads and reproduce the goldens —
+/// the windowed arbiter stays deterministic under the parallel runner.
+#[test]
+fn golden_bus_mode_grid_is_thread_invariant() {
+    let kinds = [
+        PolicyKind::Random,
+        PolicyKind::RoundRobin,
+        PolicyKind::Locality,
+    ];
+    let mut matrix = ScenarioMatrix::new();
+    for app in suite::all(Scale::Tiny) {
+        let exp = Experiment::isolated(&app, golden_bus_machine()).with_seed(12345);
+        matrix.push_all(&app.name, &exp, &kinds);
+    }
+    let mut reference = None;
+    for threads in [1usize, 4] {
+        let reports = matrix
+            .run(&SweepRunner::new(threads))
+            .expect("bus-mode sweep runs");
+        let makespans: Vec<u64> = reports
+            .iter()
+            .flat_map(|r| r.outcomes().iter().map(|o| o.result.makespan_cycles))
+            .collect();
+        assert_eq!(
+            makespans,
+            GOLDEN_FIG6_TINY_BUS
+                .iter()
+                .map(|&(_, _, m)| m)
+                .collect::<Vec<_>>(),
+            "bus-mode sweep drifted from the goldens at {threads} threads"
+        );
+        let dbg = format!("{reports:?}");
+        match &reference {
+            None => reference = Some(dbg),
+            Some(r) => assert_eq!(r, &dbg, "bus-mode reports drifted at {threads} threads"),
+        }
     }
 }
 

@@ -104,9 +104,7 @@ fn bus_contention_slows_concurrent_misses() {
     let layout = Layout::linear(w.arrays());
     let sharing = SharingMatrix::from_workload(&w);
     let base = MachineConfig::paper_default();
-    let contended = base.with_bus(BusConfig {
-        occupancy_cycles: 20,
-    });
+    let contended = base.with_bus(BusConfig::fcfs(20));
     let run = |machine: MachineConfig| {
         let mut p = lams::core::LocalityPolicy::new(sharing.clone(), machine.num_cores);
         execute(&w, &layout, &mut p, EngineConfig::from(machine)).unwrap()
@@ -121,6 +119,83 @@ fn bus_contention_slows_concurrent_misses() {
     );
     // Same work either way.
     assert_eq!(slow.machine.cache.accesses(), fast.machine.cache.accesses());
+}
+
+#[test]
+fn refusing_policy_stalls_under_a_saturated_windowed_bus() {
+    // A saturated bus (every transfer monopolizes the interconnect for
+    // 10_000 cycles, granted at coarse epochs) must not mask the
+    // engine-stall contract: a policy that refuses to dispatch still
+    // fails loudly with `EngineStalled`, it does not hang waiting for
+    // grants that no running core will ever produce.
+    let w = Workload::single(one_proc_app()).unwrap();
+    let layout = Layout::linear(w.arrays());
+    let mut p = Refusenik;
+    let machine = MachineConfig::paper_default().with_bus(BusConfig::windowed(10_000, 4_096));
+    let err = execute(&w, &layout, &mut p, EngineConfig::from(machine)).unwrap_err();
+    assert!(matches!(err, Error::EngineStalled { ready: 1 }));
+}
+
+#[test]
+fn saturated_windowed_bus_still_completes_real_work() {
+    // The same saturated bus with a real policy: every process still
+    // completes — grossly late, but deterministically.
+    let app = lams::workloads::suite::shape(lams::workloads::Scale::Tiny);
+    let w = Workload::single(app).unwrap();
+    let layout = Layout::linear(w.arrays());
+    let machine = MachineConfig::paper_default().with_bus(BusConfig::windowed(10_000, 4_096));
+    let free = MachineConfig::paper_default();
+    let run = |machine: MachineConfig| {
+        let mut p = RandomPolicy::new(1);
+        execute(&w, &layout, &mut p, EngineConfig::from(machine)).unwrap()
+    };
+    let slow = run(machine);
+    let fast = run(free);
+    assert_eq!(slow.processes.len(), w.num_processes());
+    assert!(
+        slow.makespan_cycles > 10 * fast.makespan_cycles,
+        "a 10k-cycle bus occupancy should dominate the makespan: {} vs {}",
+        slow.makespan_cycles,
+        fast.makespan_cycles
+    );
+    // Same simulated work; the slowdown is pure bus waiting.
+    assert_eq!(slow.machine.cache.accesses(), fast.machine.cache.accesses());
+    assert!(slow.machine.total_bus_wait_cycles > 0);
+}
+
+#[test]
+fn zero_occupancy_bus_is_equivalent_to_no_bus() {
+    // `occupancy_cycles: 0` means the bus never contends: in *either*
+    // arbitration mode the run is indistinguishable from `bus: None` —
+    // same makespan, same stats, same schedule, zero waits.
+    let app = lams::workloads::suite::track(lams::workloads::Scale::Tiny);
+    let w = Workload::single(app).unwrap();
+    let layout = Layout::linear(w.arrays());
+    let base = MachineConfig::paper_default().with_cores(4);
+    let run = |machine: MachineConfig| {
+        let mut p = RandomPolicy::new(7);
+        execute(&w, &layout, &mut p, EngineConfig::from(machine)).unwrap()
+    };
+    let reference = run(base);
+    for bus in [
+        BusConfig::fcfs(0),
+        BusConfig::windowed(0, 1),
+        BusConfig::windowed(0, 512),
+    ] {
+        let r = run(base.with_bus(bus));
+        assert_eq!(
+            format!("{r:?}"),
+            format!("{reference:?}"),
+            "zero-occupancy {bus:?} diverged from bus: None"
+        );
+        assert_eq!(r.machine.total_bus_wait_cycles, 0);
+    }
+}
+
+#[test]
+fn zero_cycle_bus_window_is_rejected() {
+    let machine = MachineConfig::paper_default().with_bus(BusConfig::windowed(20, 0));
+    assert!(Machine::try_new(machine).is_err());
 }
 
 #[test]
