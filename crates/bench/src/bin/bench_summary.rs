@@ -18,8 +18,13 @@
 //! windowed mode restores full event-horizon batching — the recorded
 //! `speedup` is the engine-throughput win of the windowed arbiter.
 //!
+//! Since PR 6 it also drives the `lams-serve` daemon over a loopback
+//! TCP connection with a repeated-scenario request stream and writes
+//! `BENCH_service.json`: requests/sec, p50/p99/max round-trip latency
+//! and the shared artifact cache's hit rate under service load.
+//!
 //! Usage:
-//! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json] [trace.json] [memo.json] [bus.json]`
+//! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json] [trace.json] [memo.json] [bus.json] [service.json]`
 //!
 //! The makespan checksum must stay constant across perf PRs (bit-identical
 //! simulation results); the throughput numbers are expected to move.
@@ -427,6 +432,101 @@ fn sweep_bench(
         .collect()
 }
 
+struct ServiceBench {
+    requests: usize,
+    workers: usize,
+    wall_ms: f64,
+    requests_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+}
+
+/// Drives a live `lams-serve` daemon over loopback TCP with a
+/// repeated-scenario stream (every suite-triple app under RS/RRS/LS,
+/// several rounds) and measures synchronous round-trip latency. A
+/// warm-up round fills the shared artifact cache, so the measured
+/// stream is the steady state a sweep front-end sees.
+fn service_bench(rounds: usize) -> ServiceBench {
+    use lams_serve::{ServerConfig, TcpServer};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let config = ServerConfig::default();
+    let workers = config.workers;
+    let server = TcpServer::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.spawn().expect("spawn accept loop");
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut ask = |line: &str| -> String {
+        writeln!(writer, "{line}").expect("write request");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read response");
+        resp.trim_end().to_string()
+    };
+    let field = |line: &str, key: &str| -> String {
+        line.split_ascii_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{key}=")[..]))
+            .unwrap_or_else(|| panic!("no {key}= in {line}"))
+            .to_string()
+    };
+
+    let apps = ["shape", "track", "usonic"];
+    let policies = ["rs", "rrs", "ls"];
+    for app in apps {
+        for policy in policies {
+            let resp = ask(&format!("run id=warm app={app} scale=tiny policy={policy}"));
+            assert!(resp.starts_with("ok "), "warm-up failed: {resp}");
+        }
+    }
+
+    let mut latencies_ms = Vec::with_capacity(rounds * apps.len() * policies.len());
+    let start = Instant::now();
+    for round in 0..rounds {
+        for app in apps {
+            for policy in policies {
+                let t = Instant::now();
+                let resp = ask(&format!(
+                    "run id={round} app={app} scale=tiny policy={policy}"
+                ));
+                latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                assert!(resp.starts_with("ok "), "request failed: {resp}");
+            }
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let stats = ask("stats id=stats");
+    let hits: u64 = field(&stats, "hits").parse().expect("hits");
+    let misses: u64 = field(&stats, "misses").parse().expect("misses");
+    let hit_rate: f64 = field(&stats, "hit_rate").parse().expect("hit_rate");
+    let bye = ask("shutdown id=bye");
+    assert!(bye.starts_with("ok "), "shutdown failed: {bye}");
+    handle.wait().expect("accept loop exits");
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let n = latencies_ms.len();
+    let pct = |p: usize| latencies_ms[(n * p / 100).min(n - 1)];
+    ServiceBench {
+        requests: n,
+        workers,
+        wall_ms,
+        requests_per_s: n as f64 / wall_ms * 1e3,
+        p50_ms: pct(50),
+        p99_ms: pct(99),
+        max_ms: latencies_ms[n - 1],
+        hits,
+        misses,
+        hit_rate,
+    }
+}
+
 /// FNV-1a over the makespan stream — one number to eyeball across PRs.
 fn checksum(rows: &[(String, &'static str, u64)]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -455,6 +555,9 @@ fn main() {
     let bus_out = std::env::args()
         .nth(5)
         .unwrap_or_else(|| "BENCH_bus.json".to_string());
+    let service_out = std::env::args()
+        .nth(6)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
 
     eprintln!("bench_summary: cache micro-benches...");
     let plain = cache_melems_per_s(false);
@@ -705,4 +808,48 @@ fn main() {
     bj.push_str("}\n");
     std::fs::write(&bus_out, bj).expect("write bus summary");
     eprintln!("bench_summary: wrote {bus_out}");
+
+    eprintln!("bench_summary: service bench (lams-serve over loopback TCP, Tiny stream)...");
+    let vb = service_bench(5);
+    eprintln!(
+        "  stream           {} requests in {:.3} ms ({:.1} req/s, {} workers)",
+        vb.requests, vb.wall_ms, vb.requests_per_s, vb.workers
+    );
+    eprintln!(
+        "  latency          p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+        vb.p50_ms, vb.p99_ms, vb.max_ms
+    );
+    eprintln!(
+        "  cache            {} hits / {} misses ({:.1}% hit rate)",
+        vb.hits,
+        vb.misses,
+        vb.hit_rate * 100.0
+    );
+
+    let mut vj = String::new();
+    vj.push_str("{\n");
+    vj.push_str("  \"schema\": 1,\n");
+    vj.push_str("  \"stream\": {\"style\": \"repeated-fig6\", \"scale\": \"tiny\", ");
+    vj.push_str(&format!(
+        "\"requests\": {}, \"workers\": {}}},\n",
+        vb.requests, vb.workers
+    ));
+    vj.push_str(&format!("  \"wall_ms\": {:.4},\n", vb.wall_ms));
+    vj.push_str(&format!(
+        "  \"requests_per_s\": {:.2},\n",
+        vb.requests_per_s
+    ));
+    vj.push_str("  \"latency_ms\": {\n");
+    vj.push_str(&format!("    \"p50\": {:.4},\n", vb.p50_ms));
+    vj.push_str(&format!("    \"p99\": {:.4},\n", vb.p99_ms));
+    vj.push_str(&format!("    \"max\": {:.4}\n", vb.max_ms));
+    vj.push_str("  },\n");
+    vj.push_str("  \"cache\": {\n");
+    vj.push_str(&format!("    \"hits\": {},\n", vb.hits));
+    vj.push_str(&format!("    \"misses\": {},\n", vb.misses));
+    vj.push_str(&format!("    \"hit_rate\": {:.4}\n", vb.hit_rate));
+    vj.push_str("  }\n");
+    vj.push_str("}\n");
+    std::fs::write(&service_out, vj).expect("write service summary");
+    eprintln!("bench_summary: wrote {service_out}");
 }

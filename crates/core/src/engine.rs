@@ -82,8 +82,8 @@ pub enum TraceMode {
 }
 
 /// Engine configuration: the machine plus an optional quantum override
-/// (normally the quantum comes from the policy) and the trace
-/// representation to execute.
+/// (normally the quantum comes from the policy), the trace
+/// representation to execute, and an optional per-run deadline.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// The simulated machine.
@@ -93,6 +93,16 @@ pub struct EngineConfig {
     /// Trace representation feeding the cores (defaults to
     /// [`TraceMode::Ir`]; results are identical either way).
     pub trace_mode: TraceMode,
+    /// Per-run budget in **simulated cycles**: the run fails with
+    /// [`Error::DeadlineExceeded`] once the global clock (the engine's
+    /// minimum busy-core key) passes this bound. `None` (the default)
+    /// never deadlines. Simulated time is the deterministic proxy for
+    /// work — a scenario either always fits its budget or never does,
+    /// regardless of host load or thread count — which is what lets a
+    /// long-lived service (`lams-serve`) bound how long one pathological
+    /// scenario can hold a worker without breaking bit-reproducibility
+    /// for every request it accepts.
+    pub max_cycles: Option<u64>,
 }
 
 impl EngineConfig {
@@ -102,12 +112,20 @@ impl EngineConfig {
             machine: MachineConfig::paper_default(),
             quantum_override: None,
             trace_mode: TraceMode::default(),
+            max_cycles: None,
         }
     }
 
     /// Builder-style override of the trace representation.
     pub fn with_trace_mode(mut self, mode: TraceMode) -> Self {
         self.trace_mode = mode;
+        self
+    }
+
+    /// Builder-style per-run deadline in simulated cycles (see
+    /// [`EngineConfig::max_cycles`]).
+    pub fn with_deadline_cycles(mut self, budget: u64) -> Self {
+        self.max_cycles = Some(budget);
         self
     }
 }
@@ -124,6 +142,7 @@ impl From<MachineConfig> for EngineConfig {
             machine,
             quantum_override: None,
             trace_mode: TraceMode::default(),
+            max_cycles: None,
         }
     }
 }
@@ -486,6 +505,20 @@ where
                 ready: tracker.ready_len(),
             });
         };
+        // Deadline: the popped key is the global scheduling position, so
+        // `key > budget` means the simulation provably cannot complete
+        // within the budget (every remaining event is at `>= key`). A run
+        // whose makespan fits the budget never trips this — all its keys
+        // are `<= makespan <= budget` — so accepted results are
+        // bit-identical to an unbudgeted run.
+        if let Some(budget) = config.max_cycles {
+            if key > budget {
+                return Err(Error::DeadlineExceeded {
+                    budget_cycles: budget,
+                    elapsed_cycles: key,
+                });
+            }
+        }
         let state = running[core].as_ref().expect("core is busy").state;
         match state {
             RunState::FinishPending => {
@@ -560,6 +593,14 @@ where
         // restored-batching win this arbiter exists for).
         let quantum_end = running[core].as_ref().expect("core is busy").quantum_end;
         let mut horizon = quantum_end.unwrap_or(u64::MAX);
+        // Cap batches just past the deadline so one unbounded batch (a
+        // quantum-free core running a huge trace) cannot blow arbitrarily
+        // far past the budget before the check above sees it. Splitting a
+        // batch never changes results — batching is exact — it only
+        // bounds the overshoot to one op's cost.
+        if let Some(budget) = config.max_cycles {
+            horizon = horizon.min(budget.saturating_add(1));
+        }
         if config.machine.bus.is_some_and(|b| b.serializes_ops()) {
             horizon = horizon.min(busy.peek().map_or(u64::MAX, |&Reverse((t, _))| t));
         }
@@ -625,6 +666,7 @@ mod tests {
             machine: MachineConfig::paper_default().with_cores(cores),
             quantum_override: None,
             trace_mode: TraceMode::default(),
+            max_cycles: None,
         }
     }
 
@@ -749,6 +791,7 @@ mod tests {
             machine: MachineConfig::paper_default().with_cores(4),
             quantum_override: Some(500),
             trace_mode: TraceMode::default(),
+            max_cycles: None,
         };
         let r = execute(&w, &layout, &mut ls, cfg).unwrap();
         assert!(r.processes.values().any(|e| e.dispatches > 1));

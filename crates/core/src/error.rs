@@ -15,6 +15,25 @@ pub enum Error {
         /// Number of ready-but-undispatched processes.
         ready: usize,
     },
+    /// The run exceeded its per-request simulated-cycle budget (see
+    /// [`EngineConfig::with_deadline_cycles`](crate::EngineConfig)).
+    /// Deterministic: a scenario either always fits its budget or never
+    /// does, independent of wall-clock load or thread count.
+    DeadlineExceeded {
+        /// The configured budget, in simulated cycles.
+        budget_cycles: u64,
+        /// The global simulated clock when the budget check fired.
+        elapsed_cycles: u64,
+    },
+    /// A sweep job panicked. The panic was caught at the job boundary
+    /// ([`SweepRunner::run_caught`](crate::SweepRunner::run_caught)), so
+    /// only this job failed — sibling jobs and the worker pool survive.
+    JobPanicked {
+        /// Enumeration index of the panicking job.
+        job: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// Simulator error.
     Mpsoc(lams_mpsoc::Error),
     /// Process-graph error.
@@ -31,6 +50,16 @@ impl fmt::Display for Error {
             Error::EngineStalled { ready } => {
                 write!(f, "policy stalled the engine with {ready} ready processes")
             }
+            Error::DeadlineExceeded {
+                budget_cycles,
+                elapsed_cycles,
+            } => write!(
+                f,
+                "run exceeded its {budget_cycles}-cycle budget at cycle {elapsed_cycles}"
+            ),
+            Error::JobPanicked { job, message } => {
+                write!(f, "sweep job {job} panicked: {message}")
+            }
             Error::Mpsoc(e) => write!(f, "machine: {e}"),
             Error::Graph(e) => write!(f, "process graph: {e}"),
             Error::Workload(e) => write!(f, "workload: {e}"),
@@ -46,7 +75,9 @@ impl std::error::Error for Error {
             Error::Graph(e) => Some(e),
             Error::Workload(e) => Some(e),
             Error::Layout(e) => Some(e),
-            Error::EngineStalled { .. } => None,
+            Error::EngineStalled { .. }
+            | Error::DeadlineExceeded { .. }
+            | Error::JobPanicked { .. } => None,
         }
     }
 }

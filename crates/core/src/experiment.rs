@@ -44,6 +44,7 @@ pub struct Experiment {
     quantum: u64,
     seed: u64,
     relayout_threshold: Option<f64>,
+    deadline_cycles: Option<u64>,
     runner: SweepRunner,
     memo: Arc<ArtifactCache>,
 }
@@ -79,6 +80,7 @@ impl Experiment {
             quantum: DEFAULT_QUANTUM,
             seed: 0,
             relayout_threshold: None,
+            deadline_cycles: None,
             runner: SweepRunner::sequential(),
             memo: ArtifactCache::shared(),
         }
@@ -100,6 +102,19 @@ impl Experiment {
     /// across all array pairs, as in the paper).
     pub fn with_relayout_threshold(mut self, t: f64) -> Self {
         self.relayout_threshold = Some(t);
+        self
+    }
+
+    /// Caps every engine run at `budget` **simulated** cycles
+    /// ([`EngineConfig::with_deadline_cycles`]): a run whose global
+    /// clock would pass the budget fails with
+    /// [`Error::DeadlineExceeded`](crate::Error::DeadlineExceeded)
+    /// instead of running on. Deterministic — a scenario either always
+    /// fits or never does — and runs that fit are bit-identical to
+    /// unbudgeted ones, so `lams-serve` uses this to bound worst-case
+    /// request cost without perturbing results.
+    pub fn with_deadline_cycles(mut self, budget: u64) -> Self {
+        self.deadline_cycles = Some(budget);
         self
     }
 
@@ -187,7 +202,8 @@ impl Experiment {
         layout: &Layout,
         memo: &ArtifactCache,
     ) -> Result<RunResult> {
-        let cfg = EngineConfig::from(self.machine);
+        let mut cfg = EngineConfig::from(self.machine);
+        cfg.max_cycles = self.deadline_cycles;
         match kind {
             PolicyKind::Random => {
                 let mut p = RandomPolicy::new(self.seed);

@@ -64,6 +64,7 @@ mod locality;
 pub mod memo;
 mod policy;
 mod random;
+pub mod replacement;
 mod report;
 mod round_robin;
 mod sharing;
@@ -80,8 +81,9 @@ pub use locality::LocalityPolicy;
 pub use memo::{ArtifactCache, MemoStats};
 pub use policy::{Policy, PolicyKind};
 pub use random::RandomPolicy;
+pub use replacement::EvictionPolicy;
 pub use report::{ComparisonReport, RunOutcome};
-pub use round_robin::RoundRobinPolicy;
+pub use round_robin::{RoundRobinPolicy, DEFAULT_QUANTUM};
 pub use sharing::SharingMatrix;
 pub use sweep::{ScenarioMatrix, SweepJob, SweepRunner};
 pub use task_affinity::TaskAffinityPolicy;

@@ -42,26 +42,36 @@
 //! (differentially tested in `crates/core/tests/memo.rs`, pinned by the
 //! fig6 goldens in `tests/cross_validation.rs`).
 //!
-//! There is no invalidation: workloads and layouts are immutable after
-//! construction, so a fingerprint never goes stale. A cache lives as
-//! long as the sweep (or [`Experiment`](crate::Experiment)) that owns
-//! it and is dropped wholesale.
+//! There is no *staleness* invalidation: workloads and layouts are
+//! immutable after construction, so a fingerprint never goes stale and
+//! an entry is never wrong. What a long-lived process does need is a
+//! **memory bound** — a batch sweep drops its cache wholesale, but a
+//! daemon's cache would otherwise grow with every distinct scenario it
+//! ever served. [`ArtifactCache::bounded`] therefore caps the entry
+//! count, evicting per a pluggable [`EvictionPolicy`] (exact LRU by
+//! default; Clock and SIEVE as cheap approximations — see
+//! [`crate::replacement`]). Eviction is *safe by construction*: every
+//! artifact is a pure function of its key, so evicting early only means
+//! recomputing later — any capacity, including 0, stays bit-identical
+//! to an unbounded or disabled cache (differentially tested in
+//! `crates/core/tests/memo.rs`).
 //!
-//! Hit/miss counters are kept per artifact kind ([`MemoStats`]) and
-//! surfaced by `bench_summary` as `BENCH_memo.json` and by the figure
-//! binaries' `memo` report line.
+//! Hit/miss/eviction/occupancy counters are kept per cache
+//! ([`MemoStats`]) and surfaced by `bench_summary` as `BENCH_memo.json`
+//! / `BENCH_service.json` and by the figure binaries' `memo` line.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use lams_layout::Layout;
 use lams_mpsoc::{machine_fingerprint, Fingerprint, MachineConfig};
 use lams_trace::Program;
 use lams_workloads::Workload;
 
+use crate::replacement::{EvictionPolicy, ReplacementTracker};
 use crate::{Result, RunResult, SharingMatrix};
 
 /// Number of lock stripes per map. Sweeps run at most a few dozen
@@ -86,6 +96,11 @@ fn stripe_of2(a: Fingerprint, b: Fingerprint) -> usize {
 
 /// One lock-striped hash map: `STRIPES` independent `Mutex<HashMap>`
 /// shards, so concurrent fills of different artifacts rarely contend.
+///
+/// Stripe locks recover poisoning (`PoisonError::into_inner`): the maps
+/// hold immutable published values, every critical section is a single
+/// `HashMap` operation, and a panicking sweep job must never wedge the
+/// cache for the jobs (or service requests) that share it.
 struct Striped<K, V> {
     shards: Vec<Mutex<HashMap<K, V>>>,
 }
@@ -100,24 +115,56 @@ impl<K: Eq + Hash, V: Clone> Striped<K, V> {
     fn get(&self, stripe: usize, key: &K) -> Option<V> {
         self.shards[stripe]
             .lock()
-            .expect("memo stripe")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(key)
             .cloned()
     }
 
     /// Publishes `value` unless another writer got there first; returns
-    /// the winning value either way (first-writer-wins).
-    fn publish(&self, stripe: usize, key: K, value: V) -> V {
+    /// the winning value (first-writer-wins) and whether *this* call
+    /// inserted it — the signal the bounded cache uses to track the
+    /// entry exactly once.
+    fn publish(&self, stripe: usize, key: K, value: V) -> (V, bool) {
+        let mut shard = self.shards[stripe]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match shard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
+            std::collections::hash_map::Entry::Vacant(e) => (e.insert(value).clone(), true),
+        }
+    }
+
+    /// Drops `key` (eviction); absent keys are a no-op.
+    fn remove(&self, stripe: usize, key: &K) {
         self.shards[stripe]
             .lock()
-            .expect("memo stripe")
-            .entry(key)
-            .or_insert(value)
-            .clone()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(key);
+    }
+
+    /// Total entries across all stripes.
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
     }
 }
 
-/// Hit/miss counters per artifact kind (see [`ArtifactCache::stats`]).
+/// A tracked cache entry, uniform across the four artifact maps so one
+/// replacement order spans the whole cache (a pilot can evict a
+/// program set and vice versa — total occupancy is what a server
+/// budgets, not per-kind occupancy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SlotKey {
+    Program(Fingerprint, Fingerprint),
+    Sharing(Fingerprint),
+    Pilot(Fingerprint, Fingerprint),
+    Weight(Fingerprint),
+}
+
+/// Hit/miss counters per artifact kind, plus eviction and occupancy
+/// accounting for bounded caches (see [`ArtifactCache::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoStats {
     /// Compiled-program-set lookups served from the cache.
@@ -136,6 +183,14 @@ pub struct MemoStats {
     pub weight_hits: u64,
     /// Workload-weight lookups that had to count trace ops.
     pub weight_misses: u64,
+    /// Entries evicted to stay within a bounded cache's capacity
+    /// (always 0 for unbounded and disabled caches).
+    pub evictions: u64,
+    /// Entries currently resident, across all four artifact kinds.
+    pub occupancy_entries: u64,
+    /// The configured capacity; `None` for unbounded (and disabled)
+    /// caches.
+    pub capacity_entries: Option<u64>,
 }
 
 impl MemoStats {
@@ -176,7 +231,15 @@ impl fmt::Display for MemoStats {
             self.pilot_misses,
             self.weight_hits,
             self.weight_misses,
-        )
+        )?;
+        if let Some(cap) = self.capacity_entries {
+            write!(
+                f,
+                "; {}/{cap} entries, {} evictions",
+                self.occupancy_entries, self.evictions
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -185,6 +248,8 @@ const PROGRAM: usize = 0;
 const SHARING: usize = 2;
 const PILOT: usize = 4;
 const WEIGHT: usize = 6;
+/// Single counter: entries evicted by a bounded cache.
+const EVICTIONS: usize = 8;
 
 /// The `Arc`-shared artifact memo (see the module docs).
 ///
@@ -198,23 +263,53 @@ const WEIGHT: usize = 6;
 /// against.
 pub struct ArtifactCache {
     enabled: bool,
+    /// Maximum resident entries across all four maps; `None` is
+    /// unbounded (the batch-sweep default).
+    capacity: Option<usize>,
     programs: Striped<(Fingerprint, Fingerprint), Arc<[Program]>>,
     sharing: Striped<Fingerprint, Arc<SharingMatrix>>,
     pilots: Striped<(Fingerprint, Fingerprint), Arc<RunResult>>,
     weights: Striped<Fingerprint, u64>,
-    counters: [AtomicU64; 8],
+    /// Replacement order for bounded caches. Lock ordering: the tracker
+    /// lock is only ever taken while holding **no** stripe lock, and
+    /// stripe locks for victim removal are taken *under* it — one
+    /// consistent order, so hits, publishes and evictions cannot
+    /// deadlock.
+    tracker: Mutex<ReplacementTracker<SlotKey>>,
+    counters: [AtomicU64; 9],
 }
 
 impl ArtifactCache {
-    /// A fresh, empty, enabled cache.
+    /// A fresh, empty, enabled, **unbounded** cache (the batch-sweep
+    /// default: the cache lives as long as the sweep and is dropped
+    /// wholesale).
     pub fn new() -> Self {
         ArtifactCache {
             enabled: true,
+            capacity: None,
             programs: Striped::new(),
             sharing: Striped::new(),
             pilots: Striped::new(),
             weights: Striped::new(),
+            tracker: Mutex::new(ReplacementTracker::new(EvictionPolicy::default())),
             counters: Default::default(),
+        }
+    }
+
+    /// A fresh enabled cache bounded to at most `capacity_entries`
+    /// resident entries (across all four artifact kinds), evicting per
+    /// `policy`. Capacity 0 stores nothing (every lookup recomputes but
+    /// counters still move); capacity 1 holds exactly one entry.
+    ///
+    /// Any capacity is **bit-identical** to unbounded/disabled — every
+    /// artifact is a pure function of its key, so eviction only trades
+    /// recompute time for memory (differential proptests in
+    /// `crates/core/tests/memo.rs`).
+    pub fn bounded(capacity_entries: usize, policy: EvictionPolicy) -> Self {
+        ArtifactCache {
+            capacity: Some(capacity_entries),
+            tracker: Mutex::new(ReplacementTracker::new(policy)),
+            ..ArtifactCache::new()
         }
     }
 
@@ -240,8 +335,58 @@ impl ArtifactCache {
         self.enabled
     }
 
+    /// The configured capacity in entries; `None` for unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     fn count(&self, kind: usize, hit: bool) {
         self.counters[kind + usize::from(!hit)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether publishes may store entries (bounded-to-zero caches keep
+    /// the maps empty and skip all replacement bookkeeping).
+    fn stores(&self) -> bool {
+        self.capacity != Some(0)
+    }
+
+    /// Records a served hit in the replacement order (no-op when
+    /// unbounded — there is nothing to rank).
+    fn note_hit(&self, key: SlotKey) {
+        if self.capacity.is_some() {
+            self.tracker
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .touch(&key);
+        }
+    }
+
+    /// Tracks a publish outcome and evicts down to capacity. `inserted`
+    /// is [`Striped::publish`]'s flag: only the racer that actually
+    /// inserted tracks the entry; losers record a touch.
+    fn admit(&self, key: SlotKey, inserted: bool) {
+        let Some(cap) = self.capacity else { return };
+        let mut tracker = self.tracker.lock().unwrap_or_else(PoisonError::into_inner);
+        if inserted {
+            tracker.insert(key);
+        } else {
+            tracker.touch(&key);
+        }
+        while tracker.len() > cap {
+            let Some(victim) = tracker.evict() else { break };
+            self.remove_slot(victim);
+            self.counters[EVICTIONS].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops an evicted entry from its artifact map.
+    fn remove_slot(&self, key: SlotKey) {
+        match key {
+            SlotKey::Program(w, l) => self.programs.remove(stripe_of2(w, l), &(w, l)),
+            SlotKey::Sharing(w) => self.sharing.remove(stripe_of(w), &w),
+            SlotKey::Pilot(w, m) => self.pilots.remove(stripe_of2(w, m), &(w, m)),
+            SlotKey::Weight(w) => self.weights.remove(stripe_of(w), &w),
+        }
     }
 
     /// The compiled trace program set of `workload` against `layout`
@@ -254,11 +399,17 @@ impl ArtifactCache {
         let stripe = stripe_of2(key.0, key.1);
         if let Some(hit) = self.programs.get(stripe, &key) {
             self.count(PROGRAM, true);
+            self.note_hit(SlotKey::Program(key.0, key.1));
             return hit;
         }
         self.count(PROGRAM, false);
         let compiled = workload.compile_traces(layout);
-        self.programs.publish(stripe, key, compiled)
+        if !self.stores() {
+            return compiled;
+        }
+        let (value, inserted) = self.programs.publish(stripe, key, compiled);
+        self.admit(SlotKey::Program(key.0, key.1), inserted);
+        value
     }
 
     /// The workload's [`SharingMatrix`], computed on first use.
@@ -270,11 +421,17 @@ impl ArtifactCache {
         let stripe = stripe_of(key);
         if let Some(hit) = self.sharing.get(stripe, &key) {
             self.count(SHARING, true);
+            self.note_hit(SlotKey::Sharing(key));
             return hit;
         }
         self.count(SHARING, false);
         let computed = Arc::new(SharingMatrix::from_workload(workload));
-        self.sharing.publish(stripe, key, computed)
+        if !self.stores() {
+            return computed;
+        }
+        let (value, inserted) = self.sharing.publish(stripe, key, computed);
+        self.admit(SlotKey::Sharing(key), inserted);
+        value
     }
 
     /// The Locality pilot run of `workload` on `machine` — the LS
@@ -301,11 +458,17 @@ impl ArtifactCache {
         let stripe = stripe_of2(key.0, key.1);
         if let Some(hit) = self.pilots.get(stripe, &key) {
             self.count(PILOT, true);
+            self.note_hit(SlotKey::Pilot(key.0, key.1));
             return Ok(hit);
         }
         self.count(PILOT, false);
         let computed = Arc::new(compute()?);
-        Ok(self.pilots.publish(stripe, key, computed))
+        if !self.stores() {
+            return Ok(computed);
+        }
+        let (value, inserted) = self.pilots.publish(stripe, key, computed);
+        self.admit(SlotKey::Pilot(key.0, key.1), inserted);
+        Ok(value)
     }
 
     /// The workload's total trace-op count
@@ -321,16 +484,32 @@ impl ArtifactCache {
         let stripe = stripe_of(key);
         if let Some(hit) = self.weights.get(stripe, &key) {
             self.count(WEIGHT, true);
+            self.note_hit(SlotKey::Weight(key));
             return hit;
         }
         self.count(WEIGHT, false);
-        self.weights
-            .publish(stripe, key, workload.total_trace_ops())
+        let computed = workload.total_trace_ops();
+        if !self.stores() {
+            return computed;
+        }
+        let (value, inserted) = self.weights.publish(stripe, key, computed);
+        self.admit(SlotKey::Weight(key), inserted);
+        value
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss/eviction counters and occupancy.
     pub fn stats(&self) -> MemoStats {
         let c = |i: usize| self.counters[i].load(Ordering::Relaxed);
+        let occupancy = match self.capacity {
+            Some(_) => self
+                .tracker
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+            None => {
+                self.programs.len() + self.sharing.len() + self.pilots.len() + self.weights.len()
+            }
+        };
         MemoStats {
             program_hits: c(PROGRAM),
             program_misses: c(PROGRAM + 1),
@@ -340,6 +519,9 @@ impl ArtifactCache {
             pilot_misses: c(PILOT + 1),
             weight_hits: c(WEIGHT),
             weight_misses: c(WEIGHT + 1),
+            evictions: c(EVICTIONS),
+            occupancy_entries: occupancy as u64,
+            capacity_entries: self.capacity.map(|c| c as u64),
         }
     }
 }

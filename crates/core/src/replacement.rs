@@ -1,0 +1,355 @@
+//! Pluggable eviction for the bounded [`ArtifactCache`](crate::memo):
+//! the replacement *order* bookkeeping behind a capacity-limited memo.
+//!
+//! The cache's entries themselves stay in the lock-striped maps
+//! ([`crate::memo`]); this module only tracks which key should be
+//! evicted next. Three policies are implemented over one intrusive
+//! doubly-linked slab (no per-touch allocation):
+//!
+//! * [`EvictionPolicy::Lru`] — touch moves the entry to the head, evict
+//!   takes the tail. Exact least-recently-used.
+//! * [`EvictionPolicy::Clock`] — entries never move; a hand sweeps the
+//!   ring, clearing visited bits and evicting the first unvisited
+//!   entry. One-bit LRU approximation with O(1) touches.
+//! * [`EvictionPolicy::Sieve`] — like Clock, but the hand sweeps from
+//!   the oldest entry toward the newest and resets to the tail when it
+//!   falls off; new entries are inserted at the head, in the hand's
+//!   path, so an entry that is never touched is demoted on the hand's
+//!   first visit (the "quick demotion" property of the SIEVE
+//!   algorithm), while touched survivors stay resident across sweeps.
+//!
+//! All three are deterministic given the same touch/insert sequence,
+//! and none affects simulation *results* — every cached artifact is a
+//! pure function of its key, so eviction only changes when an artifact
+//! is recomputed, never what it contains. The differential tests in
+//! `crates/core/tests/memo.rs` hold a bounded cache bit-identical to
+//! [`ArtifactCache::disabled`](crate::ArtifactCache::disabled) for
+//! every capacity, including 0 and 1.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Which replacement algorithm a bounded cache evicts with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictionPolicy {
+    /// Exact least-recently-used (the required default).
+    #[default]
+    Lru,
+    /// Second-chance ring scan (one-bit LRU approximation).
+    Clock,
+    /// SIEVE: FIFO order with a lazily-promoting scan hand.
+    Sieve,
+}
+
+impl EvictionPolicy {
+    /// Parses a policy name (case-insensitive): `lru`, `clock`, `sieve`.
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Some(EvictionPolicy::Lru),
+            "clock" => Some(EvictionPolicy::Clock),
+            "sieve" => Some(EvictionPolicy::Sieve),
+            _ => None,
+        }
+    }
+
+    /// The policy's lower-case name (inverse of
+    /// [`EvictionPolicy::from_str_opt`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Clock => "clock",
+            EvictionPolicy::Sieve => "sieve",
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    prev: usize,
+    next: usize,
+    visited: bool,
+}
+
+/// Replacement-order bookkeeping: a key set in eviction order.
+///
+/// The list runs head (newest) to tail (oldest); `prev` points toward
+/// the head, `next` toward the tail. Freed slab slots are recycled so
+/// a long-lived cache at capacity allocates nothing per insert.
+#[derive(Debug)]
+pub(crate) struct ReplacementTracker<K> {
+    policy: EvictionPolicy,
+    nodes: Vec<Node<K>>,
+    index: HashMap<K, usize>,
+    head: usize,
+    tail: usize,
+    hand: usize,
+    free: Vec<usize>,
+}
+
+impl<K: Eq + Hash + Copy> ReplacementTracker<K> {
+    pub(crate) fn new(policy: EvictionPolicy) -> Self {
+        ReplacementTracker {
+            policy,
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            hand: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of tracked keys.
+    pub(crate) fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Records a cache hit on `key`. Unknown keys (already evicted by a
+    /// racing worker) are ignored.
+    pub(crate) fn touch(&mut self, key: &K) {
+        let Some(&at) = self.index.get(key) else {
+            return;
+        };
+        match self.policy {
+            EvictionPolicy::Lru => self.move_to_head(at),
+            EvictionPolicy::Clock | EvictionPolicy::Sieve => self.nodes[at].visited = true,
+        }
+    }
+
+    /// Tracks a newly published `key` at the head of the order. Keys
+    /// already present (a racing publisher lost first-writer-wins) are
+    /// treated as a touch.
+    pub(crate) fn insert(&mut self, key: K) {
+        if self.index.contains_key(&key) {
+            self.touch(&key);
+            return;
+        }
+        let node = Node {
+            key,
+            prev: NIL,
+            next: self.head,
+            visited: false,
+        };
+        let at = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        if self.head != NIL {
+            self.nodes[self.head].prev = at;
+        }
+        self.head = at;
+        if self.tail == NIL {
+            self.tail = at;
+        }
+        self.index.insert(key, at);
+    }
+
+    /// Picks and removes the victim the policy would evict next.
+    /// Returns `None` when empty.
+    pub(crate) fn evict(&mut self) -> Option<K> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let at = match self.policy {
+            EvictionPolicy::Lru => self.tail,
+            // Both scans walk tail-ward entries toward the head,
+            // clearing visited bits, and wrap to the tail when they run
+            // off; they terminate because each pass clears bits and an
+            // entry can be skipped at most once per sweep. Clock resumes
+            // from the hand (a true ring); SIEVE's hand never points at
+            // an entry inserted after the current sweep began, because
+            // new entries land at the head, ahead of it.
+            EvictionPolicy::Clock | EvictionPolicy::Sieve => {
+                let mut hand = if self.hand == NIL {
+                    self.tail
+                } else {
+                    self.hand
+                };
+                loop {
+                    if hand == NIL {
+                        hand = self.tail;
+                    }
+                    if !self.nodes[hand].visited {
+                        break hand;
+                    }
+                    self.nodes[hand].visited = false;
+                    hand = self.nodes[hand].prev;
+                }
+            }
+        };
+        // Advance the hand off the victim before unlinking it.
+        if self.hand == at || self.policy != EvictionPolicy::Lru {
+            self.hand = self.nodes[at].prev;
+        }
+        let key = self.nodes[at].key;
+        self.unlink(at);
+        self.index.remove(&key);
+        self.free.push(at);
+        Some(key)
+    }
+
+    fn unlink(&mut self, at: usize) {
+        let (prev, next) = (self.nodes[at].prev, self.nodes[at].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        if self.hand == at {
+            self.hand = prev;
+        }
+    }
+
+    fn move_to_head(&mut self, at: usize) {
+        if self.head == at {
+            return;
+        }
+        self.unlink(at);
+        self.nodes[at].prev = NIL;
+        self.nodes[at].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = at;
+        }
+        self.head = at;
+        if self.tail == NIL {
+            self.tail = at;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<K: Eq + Hash + Copy>(t: &mut ReplacementTracker<K>) -> Vec<K> {
+        std::iter::from_fn(|| t.evict()).collect()
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::Clock,
+            EvictionPolicy::Sieve,
+        ] {
+            assert_eq!(EvictionPolicy::from_str_opt(p.name()), Some(p));
+        }
+        assert_eq!(
+            EvictionPolicy::from_str_opt("LRU"),
+            Some(EvictionPolicy::Lru)
+        );
+        assert_eq!(EvictionPolicy::from_str_opt("mru"), None);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut t = ReplacementTracker::new(EvictionPolicy::Lru);
+        for k in 0..4 {
+            t.insert(k);
+        }
+        t.touch(&0); // 0 becomes most-recent; 1 is now the oldest.
+        assert_eq!(t.evict(), Some(1));
+        assert_eq!(drain(&mut t), vec![2, 3, 0]);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.evict(), None);
+    }
+
+    #[test]
+    fn clock_gives_touched_entries_a_second_chance() {
+        let mut t = ReplacementTracker::new(EvictionPolicy::Clock);
+        for k in 0..4 {
+            t.insert(k);
+        }
+        t.touch(&0);
+        t.touch(&1);
+        // Scan from the tail (0): 0 and 1 are visited — cleared and
+        // skipped; 2 is the first unvisited victim.
+        assert_eq!(t.evict(), Some(2));
+        // Hand resumes past 2: 3 unvisited, then wraps to the cleared 0.
+        assert_eq!(t.evict(), Some(3));
+        assert_eq!(drain(&mut t), vec![0, 1]);
+    }
+
+    #[test]
+    fn sieve_quickly_demotes_untouched_newcomers() {
+        let mut t = ReplacementTracker::new(EvictionPolicy::Sieve);
+        for k in 0..3 {
+            t.insert(k);
+        }
+        t.touch(&0);
+        assert_eq!(t.evict(), Some(1), "oldest unvisited goes first");
+        // A new entry lands at the head, in the resumed hand's path:
+        // untouched, it is demoted on the hand's first visit ("quick
+        // demotion"), before the once-touched survivor 0.
+        t.insert(9);
+        assert_eq!(t.evict(), Some(2));
+        assert_eq!(drain(&mut t), vec![9, 0]);
+    }
+
+    #[test]
+    fn interleaved_insert_touch_evict_stays_consistent() {
+        for policy in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::Clock,
+            EvictionPolicy::Sieve,
+        ] {
+            let mut t = ReplacementTracker::new(policy);
+            let mut live = std::collections::BTreeSet::new();
+            // Deterministic churn: keep at most 5 of 100 keys.
+            for k in 0u64..100 {
+                t.insert(k);
+                live.insert(k);
+                t.touch(&(k / 2)); // touches both live and evicted keys
+                while t.len() > 5 {
+                    let v = t.evict().expect("nonempty");
+                    assert!(live.remove(&v), "{policy}: evicted unknown key {v}");
+                }
+            }
+            assert_eq!(t.len(), 5, "{policy}");
+            let rest = drain(&mut t);
+            assert_eq!(rest.len(), 5, "{policy}");
+            for v in rest {
+                assert!(live.remove(&v), "{policy}: drained unknown key {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn reinserting_an_evicted_key_works() {
+        for policy in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::Clock,
+            EvictionPolicy::Sieve,
+        ] {
+            let mut t = ReplacementTracker::new(policy);
+            t.insert(1);
+            t.insert(2);
+            assert!(t.evict().is_some());
+            t.insert(1);
+            t.insert(3);
+            let mut rest = drain(&mut t);
+            rest.sort_unstable();
+            assert_eq!(rest.len(), 3, "{policy}");
+        }
+    }
+}

@@ -35,7 +35,13 @@
 //! `tests/cross_validation.rs` pin it across PRs.
 //!
 //! Errors are reported deterministically too: when several jobs fail,
-//! the error of the *earliest enumerated* failing job is returned.
+//! the error of the *earliest enumerated* failing job is returned. A
+//! *panicking* job is caught at the job boundary
+//! ([`SweepRunner::run_caught`]) and reported as that job's
+//! [`Error::JobPanicked`](crate::Error::JobPanicked) under the same
+//! rule — sibling jobs complete and the worker pool (queue and slot
+//! mutexes included) survives, which is what lets a long-lived service
+//! keep serving after one poisoned request.
 //!
 //! ```
 //! use lams_core::{PolicyKind, ScenarioMatrix, SweepRunner, Experiment};
@@ -52,13 +58,27 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use lams_mpsoc::MachineConfig;
 
 use crate::memo::ArtifactCache;
 use crate::report::RunOutcome;
-use crate::{ComparisonReport, Experiment, PolicyKind, Result, RunResult};
+use crate::{ComparisonReport, Error, Experiment, PolicyKind, Result, RunResult};
+
+/// Renders a caught panic payload for [`Error::JobPanicked`]. Panics
+/// raised with `panic!("...")` carry `&str` or `String`; anything else
+/// is opaque.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Executes indexed jobs across a fixed-size scoped thread pool.
 ///
@@ -126,9 +146,64 @@ impl SweepRunner {
         self.run_queue(order.into(), f)
     }
 
+    /// Runs `f(0..n)` with each job wrapped in
+    /// [`std::panic::catch_unwind`]: a panicking job yields
+    /// `Err(`[`Error::JobPanicked`]`)` in its slot instead of unwinding
+    /// through the pool. Sibling jobs run to completion and the workers
+    /// (and their queue/slot mutexes) survive — the panic-isolation
+    /// contract a long-lived sweep service depends on. Results come back
+    /// **in index order**, as for [`SweepRunner::run`].
+    pub fn run_caught<T, F>(&self, n: usize, f: F) -> Vec<std::result::Result<T, Error>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_queue((0..n).collect(), Self::caught(f))
+    }
+
+    /// [`SweepRunner::run_weighted`] with the panic isolation of
+    /// [`SweepRunner::run_caught`].
+    pub fn run_weighted_caught<T, F>(
+        &self,
+        weights: &[u64],
+        f: F,
+    ) -> Vec<std::result::Result<T, Error>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+        self.run_queue(order.into(), Self::caught(f))
+    }
+
+    /// Wraps a job closure so panics surface as [`Error::JobPanicked`].
+    /// `AssertUnwindSafe` is sound here: a panicking job's slot is only
+    /// ever written with the `Err`, and the shared state jobs borrow
+    /// (workload, memo) is either immutable or poison-recovered.
+    fn caught<T, F>(f: F) -> impl Fn(usize) -> std::result::Result<T, Error> + Sync
+    where
+        F: Fn(usize) -> T + Sync,
+    {
+        move |i| {
+            catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| Error::JobPanicked {
+                job: i,
+                message: panic_message(payload),
+            })
+        }
+    }
+
     /// Shared driver: executes `f` over the queued indices (in queue
     /// order for one thread; popped from the front by workers
     /// otherwise), returning results **in index order**.
+    ///
+    /// Lock poisoning is recovered, not propagated: a job that panics
+    /// (under [`SweepRunner::run`], where the unwind crosses the scope)
+    /// can poison the queue or slot mutex from the perspective of its
+    /// sibling workers, and `PoisonError::into_inner` takes the guard
+    /// anyway. That is sound — the queue holds plain indices and every
+    /// slot write is a whole-`Option` store, so no invariant can be
+    /// half-updated by an unwinding writer.
     fn run_queue<T, F>(&self, order: VecDeque<usize>, f: F) -> Vec<T>
     where
         T: Send,
@@ -152,16 +227,19 @@ impl SweepRunner {
                 s.spawn(|| loop {
                     // Pop inside a tight scope so the queue lock is
                     // released while the job runs.
-                    let next = queue.lock().expect("queue lock").pop_front();
+                    let next = queue
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .pop_front();
                     let Some(i) = next else { break };
                     let out = f(i);
-                    slots.lock().expect("slot lock")[i] = Some(out);
+                    slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(out);
                 });
             }
         });
         slots
             .into_inner()
-            .expect("workers joined")
+            .unwrap_or_else(PoisonError::into_inner)
             .into_iter()
             .map(|slot| slot.expect("every index was executed"))
             .collect()
@@ -372,12 +450,17 @@ impl ScenarioMatrix {
     ) -> Result<Vec<ComparisonReport>> {
         let parallel = runner.threads() > 1 && self.jobs.len() > 1;
         let weights: Vec<u64> = self.jobs.iter().map(|j| j.weight_memo(memo)).collect();
-        let results = runner.run_weighted(&weights, |i| self.jobs[i].execute(parallel, memo));
+        // Panic-isolated: a panicking job becomes that job's
+        // `Error::JobPanicked` instead of unwinding through (and wedging)
+        // the worker pool — sibling jobs still complete, and the
+        // earliest-failing-job error rule below applies to panics too.
+        let results =
+            runner.run_weighted_caught(&weights, |i| self.jobs[i].execute(parallel, memo));
 
         let mut order: Vec<&str> = Vec::new();
         let mut grouped: Vec<(MachineConfig, Vec<RunOutcome>)> = Vec::new();
         for (job, result) in self.jobs.iter().zip(results) {
-            let (result, remapped_arrays) = result?;
+            let (result, remapped_arrays) = result.and_then(|r| r)?;
             let at = match order.iter().position(|&g| g == job.group) {
                 Some(at) => at,
                 None => {

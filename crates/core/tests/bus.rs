@@ -246,6 +246,7 @@ fn engine_cfg(machine: MachineConfig, quantum: Option<u64>, mode: TraceMode) -> 
         machine,
         quantum_override: quantum,
         trace_mode: mode,
+        max_cycles: None,
     }
 }
 

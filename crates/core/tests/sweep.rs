@@ -223,3 +223,71 @@ proptest! {
         prop_assert_eq!(groups, first_appearance);
     }
 }
+
+/// Satellite: panic isolation. A job that panics mid-sweep must (1)
+/// surface as `Error::JobPanicked` for exactly that job, (2) leave
+/// every sibling's result intact and in slot order, and (3) leave the
+/// runner's shared queue un-poisoned — identically at 1 and 4 threads.
+#[test]
+fn panicking_jobs_are_isolated_at_one_and_four_threads() {
+    use lams_core::Error;
+    for threads in [1usize, 4] {
+        let runner = SweepRunner::new(threads);
+        let results = runner.run_caught(9, |i| {
+            if i == 4 {
+                panic!("injected panic in job {i}");
+            }
+            (i as u64) * 10
+        });
+        assert_eq!(results.len(), 9, "{threads} threads");
+        for (i, r) in results.iter().enumerate() {
+            if i == 4 {
+                match r {
+                    Err(Error::JobPanicked { job, message }) => {
+                        assert_eq!(*job, 4, "{threads} threads");
+                        assert!(message.contains("injected panic"), "{message}");
+                    }
+                    other => panic!("job 4 should have panicked, got {other:?}"),
+                }
+            } else {
+                assert_eq!(
+                    *r.as_ref().expect("sibling job survives"),
+                    (i as u64) * 10,
+                    "{threads} threads"
+                );
+            }
+        }
+        // The queue mutex recovered from the poisoning panic: the same
+        // runner immediately runs a clean batch.
+        let again = runner.run(3, |i| i + 1);
+        assert_eq!(again, vec![1, 2, 3], "{threads} threads");
+    }
+}
+
+/// The weighted (LJF) path gives the same isolation guarantee: results
+/// stay in enumeration order whatever the execution order, and every
+/// panic maps to its own slot.
+#[test]
+fn weighted_panicking_jobs_keep_slot_order() {
+    use lams_core::Error;
+    let weights: Vec<u64> = vec![5, 900, 1, 40, 7, 300];
+    for threads in [1usize, 4] {
+        let results = SweepRunner::new(threads).run_weighted_caught(&weights, |i| {
+            if i % 3 == 0 {
+                panic!("job {i} down");
+            }
+            i
+        });
+        assert_eq!(results.len(), weights.len());
+        for (i, r) in results.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(
+                    matches!(r, Err(Error::JobPanicked { job, .. }) if *job == i),
+                    "slot {i} at {threads} threads: {r:?}"
+                );
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i, "{threads} threads");
+            }
+        }
+    }
+}

@@ -33,6 +33,7 @@ fn assert_modes_agree(
             machine,
             quantum_override,
             trace_mode: mode,
+            max_cycles: None,
         };
         let mut p = make_policy();
         execute(w, layout, p.as_mut(), cfg).expect("engine runs")

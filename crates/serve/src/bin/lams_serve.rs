@@ -1,0 +1,101 @@
+//! The `lams_serve` daemon binary.
+//!
+//! ```text
+//! lams_serve [--tcp ADDR] [--workers N] [--queue N]
+//!            [--cache-capacity N] [--cache-policy lru|clock|sieve]
+//!            [--deadline CYCLES] [--faults SPEC|seed:SEED:JOBS]
+//! ```
+//!
+//! Without `--tcp`, requests are read from stdin and answered on
+//! stdout (one line each; see `docs/service-protocol.md`), which is
+//! the mode the CI smoke test drives with a heredoc. With `--tcp
+//! ADDR` (e.g. `127.0.0.1:0`), the bound address is printed on stdout
+//! as `listening addr=HOST:PORT` and connections are served until a
+//! `shutdown` request arrives.
+
+use lams_core::EvictionPolicy;
+use lams_serve::{serve_stdio, FaultPlan, ServerConfig, TcpServer};
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_faults(spec: &str) -> FaultPlan {
+    if let Some(rest) = spec.strip_prefix("seed:") {
+        let mut parts = rest.split(':');
+        let seed = parts.next().and_then(|s| s.parse().ok());
+        let jobs = parts.next().and_then(|s| s.parse().ok());
+        match (seed, jobs, parts.next()) {
+            (Some(seed), Some(jobs), None) => return FaultPlan::seeded(seed, jobs),
+            _ => die(&format!(
+                "invalid --faults '{spec}' (expected seed:SEED:JOBS)"
+            )),
+        }
+    }
+    FaultPlan::parse(spec).unwrap_or_else(|| {
+        die(&format!(
+            "invalid --faults '{spec}' (expected panic:SEQ,stall:SEQ:MS,… or seed:SEED:JOBS)"
+        ))
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig::default();
+    if let Some(v) = flag_value(&args, "--workers") {
+        config.workers = v
+            .parse()
+            .unwrap_or_else(|_| die(&format!("invalid --workers '{v}'")));
+    }
+    if let Some(v) = flag_value(&args, "--queue") {
+        config.queue_depth = v
+            .parse()
+            .unwrap_or_else(|_| die(&format!("invalid --queue '{v}'")));
+    }
+    if let Some(v) = flag_value(&args, "--cache-capacity") {
+        config.cache_capacity = Some(
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("invalid --cache-capacity '{v}'"))),
+        );
+    }
+    if let Some(v) = flag_value(&args, "--cache-policy") {
+        config.eviction = EvictionPolicy::from_str_opt(v)
+            .unwrap_or_else(|| die(&format!("invalid --cache-policy '{v}' (lru|clock|sieve)")));
+    }
+    if let Some(v) = flag_value(&args, "--deadline") {
+        config.default_deadline = Some(
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("invalid --deadline '{v}'"))),
+        );
+    }
+    if let Some(v) = flag_value(&args, "--faults") {
+        config.fault_plan = parse_faults(v);
+    }
+
+    match flag_value(&args, "--tcp") {
+        Some(addr) => {
+            let server = TcpServer::bind(addr, config)
+                .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+            let bound = server
+                .local_addr()
+                .unwrap_or_else(|e| die(&format!("cannot resolve bound address: {e}")));
+            println!("listening addr={bound}");
+            if let Err(e) = server.run() {
+                die(&format!("accept loop failed: {e}"));
+            }
+        }
+        None => {
+            if let Err(e) = serve_stdio(config) {
+                die(&format!("stdio serve failed: {e}"));
+            }
+        }
+    }
+}

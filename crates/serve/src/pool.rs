@@ -1,0 +1,398 @@
+//! The persistent worker pool: bounded admission, panic isolation, and
+//! graceful drain.
+//!
+//! Scenario requests are enqueued by [`WorkerPool::submit`] into a
+//! **bounded** queue; when the queue is full the request is shed
+//! immediately with [`ErrorCode::Busy`] instead of buffering without
+//! limit — under overload the server answers fast-and-honest rather
+//! than slow-and-doomed. A fixed set of worker threads (spawned once,
+//! reused for the life of the pool) drains the queue; every job runs
+//! under `catch_unwind`, so a panicking job answers its own request
+//! with [`ErrorCode::JobPanicked`] while the worker, its siblings, and
+//! the shared [`ArtifactCache`] all survive. All pool mutexes recover
+//! poisoning: a panic between lock and unlock (only possible inside
+//! the injected-fault window, since queue critical sections are single
+//! operations) must not wedge the daemon.
+//!
+//! [`WorkerPool::drain`] is the graceful path: already-admitted jobs
+//! finish and answer, new submissions are refused with
+//! [`ErrorCode::ShuttingDown`], and the call returns once every worker
+//! has exited.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lams_core::{
+    execute_bundle, ArtifactCache, EngineConfig, Experiment, LocalityPolicy, PolicyKind,
+    RandomPolicy, RoundRobinPolicy, SharingMatrix, DEFAULT_QUANTUM,
+};
+use lams_mpsoc::MachineConfig;
+use lams_trace::TraceBundle;
+use lams_workloads::{suite, Workload};
+
+use crate::fault::FaultPlan;
+use crate::protocol::{ErrorCode, ReplayRequest, Response, RunRequest};
+
+/// A unit of pool work (the subset of requests that simulate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Work {
+    /// A `run` request.
+    Run(RunRequest),
+    /// A `replay` request.
+    Replay(ReplayRequest),
+}
+
+impl Work {
+    fn id(&self) -> &str {
+        match self {
+            Work::Run(r) => &r.id,
+            Work::Replay(r) => &r.id,
+        }
+    }
+}
+
+/// Pool sizing and hardening knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads (at least 1).
+    pub workers: usize,
+    /// Maximum queued-but-unstarted jobs before submissions shed with
+    /// `busy`.
+    pub queue_depth: usize,
+    /// Simulated-cycle budget applied to requests that carry none.
+    pub default_deadline: Option<u64>,
+    /// Injected faults (empty in production).
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 2,
+            queue_depth: 16,
+            default_deadline: None,
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// Service-level counters (monotonic; see [`WorkerPool::service_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs fully executed (including ones that answered with an
+    /// error).
+    pub completed: u64,
+    /// Submissions refused with `busy`.
+    pub shed: u64,
+    /// Jobs that panicked and were isolated.
+    pub panicked: u64,
+}
+
+struct Job {
+    seq: u64,
+    work: Work,
+    tx: Sender<Response>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    queue: std::collections::VecDeque<Job>,
+    draining: bool,
+}
+
+struct Inner {
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+    cache: Arc<ArtifactCache>,
+    config: PoolConfig,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+fn lock_state(inner: &Inner) -> std::sync::MutexGuard<'_, QueueState> {
+    inner.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The persistent worker pool (see the module docs).
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `config.workers` threads sharing `cache`.
+    pub fn new(config: PoolConfig, cache: Arc<ArtifactCache>) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(QueueState::default()),
+            work_ready: Condvar::new(),
+            cache,
+            config: config.clone(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        WorkerPool {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The shared artifact cache.
+    pub fn cache(&self) -> &Arc<ArtifactCache> {
+        &self.inner.cache
+    }
+
+    /// Enqueues `work`; the response arrives on the returned channel.
+    /// Shedding (`busy`) and refusal during drain (`shutting_down`) are
+    /// *also* delivered through the channel, so callers handle exactly
+    /// one path.
+    pub fn submit(&self, work: Work) -> Receiver<Response> {
+        let (tx, rx) = channel();
+        let mut state = lock_state(&self.inner);
+        if state.draining {
+            let _ = tx.send(Response::err(
+                work.id(),
+                ErrorCode::ShuttingDown,
+                "server is draining; request refused",
+            ));
+            return rx;
+        }
+        if state.queue.len() >= self.inner.config.queue_depth {
+            self.inner.shed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Response::err(
+                work.id(),
+                ErrorCode::Busy,
+                format!(
+                    "admission queue full (depth {}); retry later",
+                    self.inner.config.queue_depth
+                ),
+            ));
+            return rx;
+        }
+        let seq = self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        state.queue.push_back(Job { seq, work, tx });
+        drop(state);
+        self.inner.work_ready.notify_one();
+        rx
+    }
+
+    /// Counter snapshot.
+    pub fn service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            panicked: self.inner.panicked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful drain: refuse new work, finish admitted jobs, join all
+    /// workers. Idempotent.
+    pub fn drain(&self) {
+        lock_state(&self.inner).draining = true;
+        self.inner.work_ready.notify_all();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            // A worker can only terminate by observing the drain flag;
+            // its jobs are panic-isolated, so join errors are
+            // impossible in practice — but a hardened pool does not
+            // propagate one into the caller either way.
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut state = lock_state(inner);
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.draining {
+                    return;
+                }
+                state = inner
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let response = run_isolated(inner, &job);
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        // The submitter may have hung up (connection dropped); the job
+        // still completed and the counters still account for it.
+        let _ = job.tx.send(response);
+    }
+}
+
+/// Executes one job under `catch_unwind`, converting a panic — injected
+/// or genuine — into a `job_panicked` error response.
+fn run_isolated(inner: &Inner, job: &Job) -> Response {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(ms) = inner.config.fault_plan.stall_ms(job.seq) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if inner.config.fault_plan.panics_at(job.seq) {
+            panic!("injected fault: panic on job {}", job.seq);
+        }
+        execute_work(&job.work, inner.config.default_deadline, &inner.cache)
+    }));
+    match outcome {
+        Ok(response) => response,
+        Err(payload) => {
+            inner.panicked.fetch_add(1, Ordering::Relaxed);
+            Response::err(
+                job.work.id(),
+                ErrorCode::JobPanicked,
+                panic_message(payload),
+            )
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes one unit of work (also called directly by `bench_summary`'s
+/// in-process service benchmark).
+pub fn execute_work(
+    work: &Work,
+    default_deadline: Option<u64>,
+    cache: &Arc<ArtifactCache>,
+) -> Response {
+    match work {
+        Work::Run(req) => execute_run(req, default_deadline, cache),
+        Work::Replay(req) => execute_replay(req, default_deadline),
+    }
+}
+
+fn machine_for(cores: Option<usize>) -> MachineConfig {
+    match cores {
+        Some(n) => MachineConfig::paper_default().with_cores(n),
+        None => MachineConfig::paper_default(),
+    }
+}
+
+fn result_fields(r: &lams_core::RunResult) -> Vec<(&'static str, String)> {
+    vec![
+        ("makespan", r.makespan_cycles.to_string()),
+        ("cache_hits", r.machine.cache.hits.to_string()),
+        ("cache_misses", r.machine.cache.misses.to_string()),
+        ("processes", r.processes.len().to_string()),
+    ]
+}
+
+fn execute_run(
+    req: &RunRequest,
+    default_deadline: Option<u64>,
+    cache: &Arc<ArtifactCache>,
+) -> Response {
+    let Some(app) = suite::by_name(&req.app, req.scale) else {
+        return Response::err(
+            &req.id,
+            ErrorCode::BadRequest,
+            format!("unknown app '{}'", req.app),
+        );
+    };
+    let workload = match Workload::single(app) {
+        Ok(w) => w,
+        Err(e) => return Response::err(&req.id, ErrorCode::BadRequest, e),
+    };
+    let mut machine = machine_for(req.cores);
+    if let Some(bus) = req.bus {
+        machine = machine.with_bus(bus);
+    }
+    let mut exp = Experiment::for_workload(workload, machine).with_memo(Arc::clone(cache));
+    if let Some(q) = req.quantum {
+        exp = exp.with_quantum(q);
+    }
+    if let Some(s) = req.seed {
+        exp = exp.with_seed(s);
+    }
+    if let Some(d) = req.deadline.or(default_deadline) {
+        exp = exp.with_deadline_cycles(d);
+    }
+    match exp.run(req.policy) {
+        Ok(r) => {
+            let mut fields = vec![
+                ("app", req.app.clone()),
+                ("policy", req.policy.abbrev().to_ascii_lowercase()),
+            ];
+            fields.extend(result_fields(&r));
+            Response::ok(&req.id, fields)
+        }
+        Err(e) => Response::from_core_error(&req.id, &e),
+    }
+}
+
+fn execute_replay(req: &ReplayRequest, default_deadline: Option<u64>) -> Response {
+    let bytes = match std::fs::read(&req.file) {
+        Ok(b) => b,
+        Err(e) => {
+            return Response::err(
+                &req.id,
+                ErrorCode::BadRequest,
+                format!("cannot read '{}': {e}", req.file),
+            )
+        }
+    };
+    let bundle = match TraceBundle::from_bytes(&bytes) {
+        Ok(b) => b,
+        Err(e) => return Response::err(&req.id, ErrorCode::BadTrace, e),
+    };
+    let machine = machine_for(req.cores);
+    let mut cfg = EngineConfig::from(machine);
+    cfg.max_cycles = req.deadline.or(default_deadline);
+    let result = match req.policy {
+        PolicyKind::Random => {
+            let mut p = RandomPolicy::new(req.seed.unwrap_or(0));
+            execute_bundle(&bundle, &mut p, cfg)
+        }
+        PolicyKind::RoundRobin => {
+            let mut p = RoundRobinPolicy::new(req.quantum.unwrap_or(DEFAULT_QUANTUM));
+            execute_bundle(&bundle, &mut p, cfg)
+        }
+        PolicyKind::Locality => {
+            let sharing = SharingMatrix::from_bundle(&bundle);
+            let mut p = LocalityPolicy::new(sharing, machine.num_cores);
+            execute_bundle(&bundle, &mut p, cfg)
+        }
+        // The parser rejects lsm replays before they reach the pool.
+        PolicyKind::LocalityMap => {
+            return Response::err(&req.id, ErrorCode::BadRequest, "lsm cannot replay")
+        }
+    };
+    match result {
+        Ok(r) => {
+            let mut fields = vec![("policy", req.policy.abbrev().to_ascii_lowercase())];
+            fields.extend(result_fields(&r));
+            Response::ok(&req.id, fields)
+        }
+        Err(e) => Response::from_core_error(&req.id, &e),
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`layout`] — conflict analysis and the Figure 4/5 data re-layout,
 //! * [`workloads`] — the six Table 1 applications and the Figure 1 example,
 //! * [`core`] — the sharing matrix, the four schedulers (RS / RRS / LS /
-//!   LSM) and the experiment API (Figures 6 and 7).
+//!   LSM) and the experiment API (Figures 6 and 7),
+//! * [`serve`] — the long-lived sweep service: line-delimited scenario
+//!   requests over stdin/stdout or TCP onto a hardened worker pool
+//!   sharing one bounded artifact cache.
 //!
 //! ## Quickstart
 //!
@@ -40,5 +43,6 @@ pub use lams_layout as layout;
 pub use lams_mpsoc as mpsoc;
 pub use lams_presburger as presburger;
 pub use lams_procgraph as procgraph;
+pub use lams_serve as serve;
 pub use lams_trace as trace;
 pub use lams_workloads as workloads;

@@ -2,7 +2,9 @@
 //! policies, bus contention, and configuration errors must all fail (or
 //! succeed) loudly and predictably.
 
-use lams::core::{execute, EngineConfig, Error, Policy, RandomPolicy, SharingMatrix};
+use lams::core::{
+    execute, EngineConfig, Error, Experiment, Policy, PolicyKind, RandomPolicy, SharingMatrix,
+};
 use lams::layout::Layout;
 use lams::layout::{ArrayDecl, ArrayTable};
 use lams::mpsoc::CoreId;
@@ -207,9 +209,123 @@ fn quantum_override_is_honoured() {
         machine: MachineConfig::paper_default(),
         quantum_override: Some(100),
         trace_mode: lams::core::TraceMode::default(),
+        max_cycles: None,
     };
     let r = execute(&w, &layout, &mut p, cfg).unwrap();
     // The single process takes ~900 cycles of work, so an enforced
     // 100-cycle quantum preempts it repeatedly.
     assert!(r.processes[&ProcessId::new(0)].dispatches > 1);
+}
+
+#[test]
+fn deadline_budget_fails_loudly_and_deterministically() {
+    let w = Workload::single(one_proc_app()).unwrap();
+    let layout = Layout::linear(w.arrays());
+    let unbounded = {
+        let mut p = RandomPolicy::new(0);
+        execute(&w, &layout, &mut p, EngineConfig::paper_default()).unwrap()
+    };
+
+    // A budget below the real makespan: loud, typed, and carrying both
+    // the budget and where simulated time stood when it tripped.
+    let mut cfg = EngineConfig::paper_default();
+    cfg.max_cycles = Some(100);
+    let mut p = RandomPolicy::new(0);
+    let err = execute(&w, &layout, &mut p, cfg).unwrap_err();
+    match err {
+        Error::DeadlineExceeded {
+            budget_cycles,
+            elapsed_cycles,
+        } => {
+            assert_eq!(budget_cycles, 100);
+            assert!(elapsed_cycles > budget_cycles);
+            assert!(elapsed_cycles <= unbounded.makespan_cycles);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // A budget of exactly the makespan passes, bit-identically.
+    let mut cfg = EngineConfig::paper_default();
+    cfg.max_cycles = Some(unbounded.makespan_cycles);
+    let mut p = RandomPolicy::new(0);
+    let exact = execute(&w, &layout, &mut p, cfg).unwrap();
+    assert_eq!(format!("{exact:?}"), format!("{unbounded:?}"));
+    // One cycle short fails.
+    let mut cfg = EngineConfig::paper_default();
+    cfg.max_cycles = Some(unbounded.makespan_cycles - 1);
+    let mut p = RandomPolicy::new(0);
+    assert!(matches!(
+        execute(&w, &layout, &mut p, cfg),
+        Err(Error::DeadlineExceeded { .. })
+    ));
+}
+
+#[test]
+fn experiment_deadline_threads_through_every_policy() {
+    let app = lams::workloads::suite::shape(lams::workloads::Scale::Tiny);
+    for kind in [
+        PolicyKind::Random,
+        PolicyKind::RoundRobin,
+        PolicyKind::Locality,
+        PolicyKind::LocalityMap,
+    ] {
+        let tight = Experiment::isolated(&app, MachineConfig::paper_default())
+            .with_deadline_cycles(10)
+            .run(kind);
+        assert!(
+            matches!(tight, Err(Error::DeadlineExceeded { .. })),
+            "{kind:?} ignored the deadline: {tight:?}"
+        );
+        let free = Experiment::isolated(&app, MachineConfig::paper_default()).run(kind);
+        let generous = Experiment::isolated(&app, MachineConfig::paper_default())
+            .with_deadline_cycles(u64::MAX)
+            .run(kind);
+        assert_eq!(
+            generous.unwrap().makespan_cycles,
+            free.unwrap().makespan_cycles,
+            "{kind:?} perturbed by a generous deadline"
+        );
+    }
+}
+
+#[test]
+fn malformed_service_requests_are_typed_errors_never_panics() {
+    // The daemon's parser must answer every hostile line with a typed
+    // error (or a recognised request) — no panic, no abort.
+    let hostile = [
+        "",
+        "   ",
+        "# comment",
+        "run",
+        "run id=",
+        "run id=1",
+        "run id=1 app=shape",
+        "run id=1 app=shape scale=tiny",
+        "run id=1 app=shape scale=tiny policy=quantum",
+        "run id=1 app=shape scale=galactic policy=rs",
+        "run id=1 app=shape scale=tiny policy=rs policy=ls",
+        "run id=1 app=shape scale=tiny policy=rs cores=zero",
+        "run id=1 app=shape scale=tiny policy=rs deadline=-3",
+        "run id=1 app=shape scale=tiny policy=rs bogus_key=1",
+        "run id=1 app=shape scale=tiny policy=rs stray-token",
+        "replay id=1 policy=rs",
+        "replay id=1 file=/tmp/x.ltr policy=lsm",
+        "warp id=1 speed=9",
+        "run id=\u{0} app=shape scale=tiny policy=rs",
+        "ping id=1 extra=field",
+    ];
+    for line in hostile {
+        // Must return, never unwind.
+        let outcome = lams::serve::Request::parse(line);
+        if let Err(e) = outcome {
+            let resp = e.response().to_string();
+            assert!(resp.starts_with("err "), "{line:?} -> {resp}");
+            assert!(!resp.contains('\n'), "{line:?} -> multi-line error");
+        }
+    }
+    // And the recoverable-id contract: a parse error on a line that did
+    // carry an id echoes it back so the client can correlate.
+    let err =
+        lams::serve::Request::parse("run id=req-7 app=shape scale=tiny policy=warp").unwrap_err();
+    assert!(err.response().to_string().starts_with("err id=req-7 "));
 }
