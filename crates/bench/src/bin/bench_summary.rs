@@ -23,6 +23,12 @@
 //! `BENCH_service.json`: requests/sec, p50/p99/max round-trip latency
 //! and the shared artifact cache's hit rate under service load.
 //!
+//! Since PR 7 `BENCH_memo.json` gains a `ladder` subsection: a
+//! threshold-ladder matrix timed uncached vs whole-artifact keying
+//! (PR 4, `without_delta`) vs delta-keyed per-process reuse, recording
+//! `speedup_vs_uncached` and `speedup_vs_pr4`. The `bench_gate` bin
+//! compares fresh summaries against the checked-in baselines in CI.
+//!
 //! Usage:
 //! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json] [trace.json] [memo.json] [bus.json] [service.json]`
 //!
@@ -309,6 +315,96 @@ fn memo_bench(samples: usize) -> MemoBench {
         speedup: uncached_ns / cached_ns,
         stats,
         identical: uncached_csv == cached_csv,
+    }
+}
+
+/// The threshold-ladder matrix the delta-key bench times: one Tiny
+/// `|T|` = 3 mix swept at several relayout thresholds (each an
+/// independent LSM job re-running the pilot and much of the candidate
+/// ladder) plus the default LSM and plain LS. Whole-artifact keying
+/// (PR 4) already shares compiled traces across the jobs; delta keying
+/// additionally resolves every repeated (machine, delta-key) ladder
+/// rung from the memoized LS result without re-simulating — that gap
+/// is what the three-way timing isolates.
+fn ladder_matrix() -> ScenarioMatrix {
+    let machine = MachineConfig::paper_default();
+    let apps = suite::mix(3, Scale::Tiny);
+    let exp = Experiment::concurrent(&apps, machine).with_seed(12345);
+    let mut m = ScenarioMatrix::new();
+    m.push("ladder", exp.clone(), PolicyKind::Locality);
+    m.push("ladder", exp.clone(), PolicyKind::LocalityMap);
+    for t in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        m.push(
+            "ladder",
+            exp.clone().with_relayout_threshold(t),
+            PolicyKind::LocalityMap,
+        );
+    }
+    m
+}
+
+struct LadderBench {
+    jobs: usize,
+    uncached_ms: f64,
+    whole_ms: f64,
+    delta_ms: f64,
+    speedup_vs_uncached: f64,
+    speedup_vs_pr4: f64,
+    pilot_hits: u64,
+    per_process_hits: u64,
+    identical: bool,
+}
+
+/// Times the threshold ladder three ways — memo disabled, whole-artifact
+/// keying only (`without_delta`, the PR 4 behaviour), and full
+/// delta-keyed reuse — asserting all three sweeps report byte-identical
+/// results.
+fn ladder_bench(samples: usize) -> LadderBench {
+    let matrix = ladder_matrix();
+    let runner = SweepRunner::sequential();
+    let mut csvs: [String; 3] = Default::default();
+    let mut time_mode = |mode: usize, stats_out: &mut [u64]| {
+        let mut csv = String::new();
+        let ns = time_ns(
+            || {
+                // A fresh cache per sample, as in `memo_bench`: the win
+                // measured is intra-matrix reuse only.
+                let memo = match mode {
+                    0 => ArtifactCache::disabled(),
+                    1 => std::sync::Arc::new(ArtifactCache::new().without_delta()),
+                    _ => ArtifactCache::shared(),
+                };
+                let reports = matrix
+                    .run_with_memo(&runner, &memo)
+                    .expect("ladder sweep runs");
+                csv = reports.iter().map(|r| r.to_csv()).collect();
+                let s = memo.stats();
+                stats_out[0] = s.pilot_hits;
+                stats_out[1] = s.per_process_hits;
+                black_box(&csv);
+            },
+            1,
+            samples,
+        );
+        csvs[mode] = csv;
+        ns
+    };
+    let mut sink = [0u64; 2];
+    let uncached_ns = time_mode(0, &mut sink);
+    let whole_ns = time_mode(1, &mut sink);
+    let mut delta_stats = [0u64; 2];
+    let delta_ns = time_mode(2, &mut delta_stats);
+    let [pilot_hits, per_process_hits] = delta_stats;
+    LadderBench {
+        jobs: matrix.len(),
+        uncached_ms: uncached_ns / 1e6,
+        whole_ms: whole_ns / 1e6,
+        delta_ms: delta_ns / 1e6,
+        speedup_vs_uncached: uncached_ns / delta_ns,
+        speedup_vs_pr4: whole_ns / delta_ns,
+        pilot_hits,
+        per_process_hits,
+        identical: csvs[0] == csvs[1] && csvs[1] == csvs[2],
     }
 }
 
@@ -741,6 +837,21 @@ fn main() {
     );
     eprintln!("  memo             {s}");
 
+    eprintln!("bench_summary: delta-key ladder bench (Tiny mix3 threshold ladder)...");
+    let lb = ladder_bench(5);
+    assert!(
+        lb.identical,
+        "ladder reports diverged across uncached / whole-artifact / delta-keyed"
+    );
+    eprintln!(
+        "  ladder           {} jobs: uncached {:.3} ms, whole-artifact {:.3} ms, delta {:.3} ms",
+        lb.jobs, lb.uncached_ms, lb.whole_ms, lb.delta_ms
+    );
+    eprintln!(
+        "  speedup          {:.2}x vs uncached, {:.2}x vs whole-artifact ({} ls-result hits, {} per-process hits)",
+        lb.speedup_vs_uncached, lb.speedup_vs_pr4, lb.pilot_hits, lb.per_process_hits
+    );
+
     let mut mj = String::new();
     mj.push_str("{\n");
     mj.push_str("  \"schema\": 1,\n");
@@ -759,12 +870,43 @@ fn main() {
     mj.push_str(&format!("    \"hit_rate\": {:.4},\n", s.hit_rate()));
     mj.push_str(&format!("    \"program_hits\": {},\n", s.program_hits));
     mj.push_str(&format!("    \"program_misses\": {},\n", s.program_misses));
+    mj.push_str(&format!(
+        "    \"per_process_hits\": {},\n",
+        s.per_process_hits
+    ));
+    mj.push_str(&format!(
+        "    \"per_process_misses\": {},\n",
+        s.per_process_misses
+    ));
     mj.push_str(&format!("    \"sharing_hits\": {},\n", s.sharing_hits));
     mj.push_str(&format!("    \"sharing_misses\": {},\n", s.sharing_misses));
     mj.push_str(&format!("    \"pilot_hits\": {},\n", s.pilot_hits));
     mj.push_str(&format!("    \"pilot_misses\": {},\n", s.pilot_misses));
     mj.push_str(&format!("    \"weight_hits\": {},\n", s.weight_hits));
     mj.push_str(&format!("    \"weight_misses\": {}\n", s.weight_misses));
+    mj.push_str("  },\n");
+    mj.push_str("  \"ladder\": {\n");
+    mj.push_str(&format!(
+        "    \"matrix\": {{\"style\": \"threshold-ladder\", \"scale\": \"tiny\", \"jobs\": {}}},\n",
+        lb.jobs
+    ));
+    mj.push_str(&format!("    \"uncached_ms\": {:.4},\n", lb.uncached_ms));
+    mj.push_str(&format!("    \"whole_artifact_ms\": {:.4},\n", lb.whole_ms));
+    mj.push_str(&format!("    \"delta_keyed_ms\": {:.4},\n", lb.delta_ms));
+    mj.push_str(&format!(
+        "    \"speedup_vs_uncached\": {:.3},\n",
+        lb.speedup_vs_uncached
+    ));
+    mj.push_str(&format!(
+        "    \"speedup_vs_pr4\": {:.3},\n",
+        lb.speedup_vs_pr4
+    ));
+    mj.push_str(&format!("    \"ls_result_hits\": {},\n", lb.pilot_hits));
+    mj.push_str(&format!(
+        "    \"per_process_hits\": {},\n",
+        lb.per_process_hits
+    ));
+    mj.push_str(&format!("    \"reports_identical\": {}\n", lb.identical));
     mj.push_str("  }\n");
     mj.push_str("}\n");
     std::fs::write(&memo_out, mj).expect("write memo summary");

@@ -196,6 +196,20 @@ impl Experiment {
         })
     }
 
+    /// An LS run against an arbitrary (candidate) layout, served from
+    /// the memo's LS-result slot: keyed on the layout's *delta key*, so
+    /// a candidate whose effective per-process layouts match an already
+    /// simulated one — the pilot, or a sibling threshold's candidate —
+    /// reuses that run's full result (per-process hit/miss summaries
+    /// included) instead of re-simulating. Sound because LS runs are
+    /// quantum/seed-free and depend only on (workload, machine,
+    /// compiled programs); see [`ArtifactCache::ls_result`].
+    fn ls_cached(&self, layout: &Layout, memo: &ArtifactCache) -> Result<Arc<RunResult>> {
+        memo.ls_result(&self.workload, &self.machine, layout, || {
+            self.run_with_layout(PolicyKind::LocalityMap, layout, memo)
+        })
+    }
+
     fn run_with_layout(
         &self,
         kind: PolicyKind,
@@ -452,8 +466,20 @@ impl Experiment {
                 cands.push((t, assignment, remapped));
             }
         }
+        // Each candidate is evaluated pilot-plus-delta: the compiled
+        // program set reuses every pilot program whose process the
+        // remap does not touch (per-process memo slots), and the whole
+        // simulation is skipped when the candidate's delta key matches
+        // an LS result already in the memo. `without_delta` caches
+        // restore the PR 4 whole-artifact behaviour (no candidate
+        // result reuse) for the bench ladder's middle rung.
         let results = runner.run(cands.len(), |i| {
-            self.run_with_layout(PolicyKind::LocalityMap, &cands[i].2, memo)
+            if memo.delta_enabled() {
+                self.ls_cached(&cands[i].2, memo)
+                    .map(|r| r.as_ref().clone())
+            } else {
+                self.run_with_layout(PolicyKind::LocalityMap, &cands[i].2, memo)
+            }
         });
         let mut best: Option<(RunResult, RemapAssignment)> = None;
         for ((t, assignment, _), result) in cands.into_iter().zip(results) {

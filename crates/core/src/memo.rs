@@ -12,14 +12,25 @@
 //! [`ArtifactCache`] is an `Arc`-shared, lock-striped memo holding:
 //!
 //! * **compiled trace program sets**, keyed on `(workload fingerprint,
-//!   layout fingerprint)` — consumed by
+//!   delta key)` where the delta key
+//!   ([`Workload::delta_fingerprint`]) hashes each process's layout
+//!   restricted to its touched arrays — consumed by
 //!   [`execute_cached`](crate::execute_cached) instead of recompiling
 //!   per engine run;
+//! * **per-process compiled programs**, keyed on `(process content
+//!   fingerprint, layout-restricted fingerprint)` — the delta
+//!   granularity: a whole-set miss assembles the set process by
+//!   process, so a candidate layout that remaps arrays a process never
+//!   touches reuses that process's pilot-compiled
+//!   [`Program`] verbatim;
 //! * **sharing matrices**, keyed on the workload fingerprint — consumed
 //!   by every Locality/LSM policy construction;
-//! * **Locality pilot runs**, keyed on `(workload, machine)` — the LS
-//!   schedule on the plain linear layout, which is simultaneously the
-//!   LS result of a policy comparison *and* phase 1 of every LSM run;
+//! * **LS results**, keyed on `(workload, machine ⊕ layout delta key)`
+//!   — the Locality schedule on a given layout. The linear-layout entry
+//!   is the classic *pilot* (simultaneously the LS result of a policy
+//!   comparison and phase 1 of every LSM run); candidate-layout entries
+//!   let the LSM threshold ladder skip re-simulating any candidate
+//!   whose effective layout it (or a sibling job) has already run;
 //! * **workload weights** (total trace ops), keyed on the workload
 //!   fingerprint — the up-front cost proxy
 //!   [`SweepJob::weight`](crate::SweepJob) feeds the longest-job-first
@@ -151,13 +162,14 @@ impl<K: Eq + Hash, V: Clone> Striped<K, V> {
     }
 }
 
-/// A tracked cache entry, uniform across the four artifact maps so one
+/// A tracked cache entry, uniform across the five artifact maps so one
 /// replacement order spans the whole cache (a pilot can evict a
 /// program set and vice versa — total occupancy is what a server
 /// budgets, not per-kind occupancy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum SlotKey {
     Program(Fingerprint, Fingerprint),
+    ProcProgram(Fingerprint, Fingerprint),
     Sharing(Fingerprint),
     Pilot(Fingerprint, Fingerprint),
     Weight(Fingerprint),
@@ -171,13 +183,20 @@ pub struct MemoStats {
     pub program_hits: u64,
     /// Compiled-program-set lookups that had to compile.
     pub program_misses: u64,
+    /// Per-process compiled-program lookups served from the cache (the
+    /// delta-key granularity: each set-level miss assembles its set via
+    /// one per-process lookup per process).
+    pub per_process_hits: u64,
+    /// Per-process compiled-program lookups that had to compile.
+    pub per_process_misses: u64,
     /// Sharing-matrix lookups served from the cache.
     pub sharing_hits: u64,
     /// Sharing-matrix lookups that had to compute.
     pub sharing_misses: u64,
-    /// Locality-pilot lookups served from the cache.
+    /// LS-result lookups (pilot and candidate layouts) served from the
+    /// cache.
     pub pilot_hits: u64,
-    /// Locality-pilot lookups that had to simulate.
+    /// LS-result lookups that had to simulate.
     pub pilot_misses: u64,
     /// Workload-weight lookups served from the cache.
     pub weight_hits: u64,
@@ -186,7 +205,7 @@ pub struct MemoStats {
     /// Entries evicted to stay within a bounded cache's capacity
     /// (always 0 for unbounded and disabled caches).
     pub evictions: u64,
-    /// Entries currently resident, across all four artifact kinds.
+    /// Entries currently resident, across all five artifact kinds.
     pub occupancy_entries: u64,
     /// The configured capacity; `None` for unbounded (and disabled)
     /// caches.
@@ -196,12 +215,20 @@ pub struct MemoStats {
 impl MemoStats {
     /// Total lookups served from the cache.
     pub fn hits(&self) -> u64 {
-        self.program_hits + self.sharing_hits + self.pilot_hits + self.weight_hits
+        self.program_hits
+            + self.per_process_hits
+            + self.sharing_hits
+            + self.pilot_hits
+            + self.weight_hits
     }
 
     /// Total lookups that had to compute the artifact.
     pub fn misses(&self) -> u64 {
-        self.program_misses + self.sharing_misses + self.pilot_misses + self.weight_misses
+        self.program_misses
+            + self.per_process_misses
+            + self.sharing_misses
+            + self.pilot_misses
+            + self.weight_misses
     }
 
     /// `hits / (hits + misses)`; 0 when nothing was looked up.
@@ -219,12 +246,14 @@ impl fmt::Display for MemoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate; programs {}/{}, sharing {}/{}, pilots {}/{}, weights {}/{})",
+            "{} hits / {} misses ({:.1}% hit rate; programs {}/{}, per-process {}/{}, sharing {}/{}, ls-results {}/{}, weights {}/{})",
             self.hits(),
             self.misses(),
             self.hit_rate() * 100.0,
             self.program_hits,
             self.program_misses,
+            self.per_process_hits,
+            self.per_process_misses,
             self.sharing_hits,
             self.sharing_misses,
             self.pilot_hits,
@@ -248,8 +277,9 @@ const PROGRAM: usize = 0;
 const SHARING: usize = 2;
 const PILOT: usize = 4;
 const WEIGHT: usize = 6;
+const PROC: usize = 8;
 /// Single counter: entries evicted by a bounded cache.
-const EVICTIONS: usize = 8;
+const EVICTIONS: usize = 10;
 
 /// The `Arc`-shared artifact memo (see the module docs).
 ///
@@ -263,10 +293,17 @@ const EVICTIONS: usize = 8;
 /// against.
 pub struct ArtifactCache {
     enabled: bool,
-    /// Maximum resident entries across all four maps; `None` is
+    /// Whether program sets are keyed (and assembled) at per-process
+    /// delta granularity and LS results are memoized per layout delta.
+    /// On by default; [`ArtifactCache::without_delta`] restores the
+    /// whole-artifact keying of the original cache (kept as the
+    /// mid-rung of the `BENCH_memo.json` ladder comparison).
+    delta: bool,
+    /// Maximum resident entries across all five maps; `None` is
     /// unbounded (the batch-sweep default).
     capacity: Option<usize>,
-    programs: Striped<(Fingerprint, Fingerprint), Arc<[Program]>>,
+    programs: Striped<(Fingerprint, Fingerprint), Arc<[Arc<Program>]>>,
+    proc_programs: Striped<(Fingerprint, Fingerprint), Arc<Program>>,
     sharing: Striped<Fingerprint, Arc<SharingMatrix>>,
     pilots: Striped<(Fingerprint, Fingerprint), Arc<RunResult>>,
     weights: Striped<Fingerprint, u64>,
@@ -276,7 +313,7 @@ pub struct ArtifactCache {
     /// consistent order, so hits, publishes and evictions cannot
     /// deadlock.
     tracker: Mutex<ReplacementTracker<SlotKey>>,
-    counters: [AtomicU64; 9],
+    counters: [AtomicU64; 11],
 }
 
 impl ArtifactCache {
@@ -286,8 +323,10 @@ impl ArtifactCache {
     pub fn new() -> Self {
         ArtifactCache {
             enabled: true,
+            delta: true,
             capacity: None,
             programs: Striped::new(),
+            proc_programs: Striped::new(),
             sharing: Striped::new(),
             pilots: Striped::new(),
             weights: Striped::new(),
@@ -328,6 +367,25 @@ impl ArtifactCache {
             enabled: false,
             ..ArtifactCache::new()
         })
+    }
+
+    /// An enabled cache with delta-granularity memoization switched
+    /// **off**: program sets are keyed on the raw
+    /// [`Layout::fingerprint`] (no per-process assembly, no
+    /// cross-candidate reuse) and candidate LS results are never
+    /// memoized — exactly the whole-artifact behaviour this cache had
+    /// before delta keys. Kept as the middle rung of the
+    /// `BENCH_memo.json` ladder (uncached → whole-artifact →
+    /// delta-keyed); results are bit-identical in every mode.
+    pub fn without_delta(mut self) -> Self {
+        self.delta = false;
+        self
+    }
+
+    /// Whether delta-granularity memoization is on (see
+    /// [`ArtifactCache::without_delta`]).
+    pub fn delta_enabled(&self) -> bool {
+        self.delta
     }
 
     /// Whether lookups may be served from the cache.
@@ -383,19 +441,44 @@ impl ArtifactCache {
     fn remove_slot(&self, key: SlotKey) {
         match key {
             SlotKey::Program(w, l) => self.programs.remove(stripe_of2(w, l), &(w, l)),
+            SlotKey::ProcProgram(p, l) => self.proc_programs.remove(stripe_of2(p, l), &(p, l)),
             SlotKey::Sharing(w) => self.sharing.remove(stripe_of(w), &w),
             SlotKey::Pilot(w, m) => self.pilots.remove(stripe_of2(w, m), &(w, m)),
             SlotKey::Weight(w) => self.weights.remove(stripe_of(w), &w),
         }
     }
 
+    /// Compiles every process fresh — the uncached reference path.
+    fn compile_all(workload: &Workload, layout: &Layout) -> Arc<[Arc<Program>]> {
+        workload
+            .process_ids()
+            .map(|p| Arc::new(workload.compile_trace(p, layout)))
+            .collect()
+    }
+
     /// The compiled trace program set of `workload` against `layout`
     /// (index = process id), compiling on first use.
-    pub fn programs(&self, workload: &Workload, layout: &Layout) -> Arc<[Program]> {
+    ///
+    /// With delta keying (the default) the set is keyed on the
+    /// workload's **delta key** for the layout
+    /// ([`Workload::delta_fingerprint`]) — so two layouts that differ
+    /// only on arrays no process touches share one set — and a
+    /// set-level miss assembles the set through the **per-process**
+    /// slot: each process looks up `(process content fingerprint,
+    /// layout restricted to its touched arrays)` and only the processes
+    /// whose effective layout actually changed recompile. A ladder
+    /// candidate that remaps 2 of 40 processes' arrays compiles 2
+    /// programs and reuses 38 from the pilot.
+    pub fn programs(&self, workload: &Workload, layout: &Layout) -> Arc<[Arc<Program>]> {
         if !self.enabled {
-            return workload.compile_traces(layout);
+            return Self::compile_all(workload, layout);
         }
-        let key = (workload.fingerprint(), layout.fingerprint());
+        let layout_key = if self.delta {
+            workload.delta_fingerprint(layout)
+        } else {
+            layout.fingerprint()
+        };
+        let key = (workload.fingerprint(), layout_key);
         let stripe = stripe_of2(key.0, key.1);
         if let Some(hit) = self.programs.get(stripe, &key) {
             self.count(PROGRAM, true);
@@ -403,12 +486,53 @@ impl ArtifactCache {
             return hit;
         }
         self.count(PROGRAM, false);
-        let compiled = workload.compile_traces(layout);
+        let compiled: Arc<[Arc<Program>]> = if self.delta {
+            workload
+                .process_ids()
+                .map(|p| self.proc_program(workload, p, layout))
+                .collect()
+        } else {
+            Self::compile_all(workload, layout)
+        };
         if !self.stores() {
             return compiled;
         }
         let (value, inserted) = self.programs.publish(stripe, key, compiled);
         self.admit(SlotKey::Program(key.0, key.1), inserted);
+        value
+    }
+
+    /// One process's compiled program against `layout`, keyed on
+    /// `(process content fingerprint, effective-layout-restriction
+    /// fingerprint)` — the delta-granularity slot. Soundness rests on
+    /// [`Layout::restricted_fingerprint`]: the compiler reads nothing
+    /// of the layout beyond the touched arrays' placement (plus the
+    /// chunk size when one of them is remapped), so equal keys imply a
+    /// byte-identical [`Program`]. First-writer-wins and bounded
+    /// eviction behave exactly as for the other four slot kinds.
+    fn proc_program(
+        &self,
+        workload: &Workload,
+        p: lams_procgraph::ProcessId,
+        layout: &Layout,
+    ) -> Arc<Program> {
+        let key = (
+            workload.process_fingerprint(p),
+            layout.restricted_fingerprint(&workload.arrays_of(p)),
+        );
+        let stripe = stripe_of2(key.0, key.1);
+        if let Some(hit) = self.proc_programs.get(stripe, &key) {
+            self.count(PROC, true);
+            self.note_hit(SlotKey::ProcProgram(key.0, key.1));
+            return hit;
+        }
+        self.count(PROC, false);
+        let compiled = Arc::new(workload.compile_trace(p, layout));
+        if !self.stores() {
+            return compiled;
+        }
+        let (value, inserted) = self.proc_programs.publish(stripe, key, compiled);
+        self.admit(SlotKey::ProcProgram(key.0, key.1), inserted);
         value
     }
 
@@ -439,6 +563,9 @@ impl ArtifactCache {
     /// policy result and phase 1 of LSM. `compute` runs on a miss (and
     /// on race losers; first publisher wins).
     ///
+    /// Delegates to [`ArtifactCache::ls_result`] with the linear
+    /// layout: the pilot *is* the linear-layout LS result.
+    ///
     /// # Errors
     ///
     /// Propagates `compute`'s error without caching it.
@@ -454,7 +581,51 @@ impl ArtifactCache {
         if !self.enabled {
             return Ok(Arc::new(compute()?));
         }
-        let key = (workload.fingerprint(), machine_fingerprint(machine));
+        let linear = Layout::linear(workload.arrays());
+        self.ls_result(workload, machine, &linear, compute)
+    }
+
+    /// The LS run of `workload` against an arbitrary `layout` on
+    /// `machine`, keyed on `(workload fingerprint, machine ⊕ layout
+    /// delta key)`. This is the run-granularity reuse of the delta
+    /// scheme: an LS simulation depends on nothing but the workload,
+    /// the machine (same fingerprint ⇒ same cores, cache, latencies,
+    /// bus arbitration and replacement/classification mode) and the
+    /// compiled per-process programs — which the delta key
+    /// ([`Workload::delta_fingerprint`]) pins byte-for-byte. LS has no
+    /// quantum and no seed, and the sharing matrix it schedules by is a
+    /// pure function of the workload, so equal keys imply a
+    /// bit-identical [`RunResult`] including every per-process hit/miss
+    /// summary. Candidates whose remap leaves every touched array in
+    /// place (delta key = the pilot's) resolve to the pilot entry
+    /// without simulating; threshold-ladder siblings that derive the
+    /// same effective assignment share one simulation.
+    ///
+    /// A run's deadline cap is deliberately *not* part of the key,
+    /// matching the pilot slot's historical contract: errors (including
+    /// deadline overruns) are never cached, and runs that fit their
+    /// deadline are bit-identical to unbudgeted ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error without caching it.
+    pub fn ls_result<F>(
+        &self,
+        workload: &Workload,
+        machine: &MachineConfig,
+        layout: &Layout,
+        compute: F,
+    ) -> Result<Arc<RunResult>>
+    where
+        F: FnOnce() -> Result<RunResult>,
+    {
+        if !self.enabled {
+            return Ok(Arc::new(compute()?));
+        }
+        let mut h = lams_mpsoc::FingerprintHasher::new("lams.ls-key");
+        h.write_fingerprint(machine_fingerprint(machine));
+        h.write_fingerprint(workload.delta_fingerprint(layout));
+        let key = (workload.fingerprint(), h.finish());
         let stripe = stripe_of2(key.0, key.1);
         if let Some(hit) = self.pilots.get(stripe, &key) {
             self.count(PILOT, true);
@@ -507,12 +678,18 @@ impl ArtifactCache {
                 .unwrap_or_else(PoisonError::into_inner)
                 .len(),
             None => {
-                self.programs.len() + self.sharing.len() + self.pilots.len() + self.weights.len()
+                self.programs.len()
+                    + self.proc_programs.len()
+                    + self.sharing.len()
+                    + self.pilots.len()
+                    + self.weights.len()
             }
         };
         MemoStats {
             program_hits: c(PROGRAM),
             program_misses: c(PROGRAM + 1),
+            per_process_hits: c(PROC),
+            per_process_misses: c(PROC + 1),
             sharing_hits: c(SHARING),
             sharing_misses: c(SHARING + 1),
             pilot_hits: c(PILOT),
@@ -633,11 +810,88 @@ mod tests {
     }
 
     #[test]
+    fn per_process_slots_reuse_programs_across_disjoint_remaps() {
+        // A two-app mix shares no arrays across apps, so remapping only
+        // the last array (touched by the second app alone) must let
+        // every first-app process reuse its linear-layout program.
+        let apps = vec![suite::shape(Scale::Tiny), suite::track(Scale::Tiny)];
+        let w = Workload::concurrent(apps).unwrap();
+        let memo = ArtifactCache::new();
+        let linear = Layout::linear(w.arrays());
+        let a = memo.programs(&w, &linear);
+        let last = lams_layout::ArrayId::new((w.arrays().len() - 1) as u32);
+        let mut asg = lams_layout::RemapAssignment::new();
+        asg.assign(last, lams_layout::HalfPage::Lower);
+        let remapped =
+            Layout::remapped(w.arrays(), &lams_mpsoc::CacheConfig::paper_default(), &asg);
+        let b = memo.programs(&w, &remapped);
+        let untouched: Vec<_> = w
+            .process_ids()
+            .filter(|&p| !w.arrays_of(p).contains(&last))
+            .collect();
+        assert!(!untouched.is_empty(), "mix must have disjoint processes");
+        for &p in &untouched {
+            assert!(
+                Arc::ptr_eq(&a[p.as_usize()], &b[p.as_usize()]),
+                "disjoint process {p} must reuse its compiled program"
+            );
+        }
+        let s = memo.stats();
+        assert_eq!(s.program_misses, 2, "two distinct delta keys");
+        assert_eq!(s.per_process_hits as usize, untouched.len());
+        assert_eq!(
+            s.per_process_misses as usize,
+            2 * w.num_processes() - untouched.len()
+        );
+    }
+
+    #[test]
+    fn without_delta_restores_whole_artifact_keying() {
+        let memo = ArtifactCache::new().without_delta();
+        assert!(!memo.delta_enabled());
+        assert!(ArtifactCache::new().delta_enabled());
+        let w = workload();
+        let layout = Layout::linear(w.arrays());
+        let a = memo.programs(&w, &layout);
+        let b = memo.programs(&w, &layout);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = memo.stats();
+        assert_eq!((s.program_hits, s.program_misses), (1, 1));
+        assert_eq!(
+            (s.per_process_hits, s.per_process_misses),
+            (0, 0),
+            "whole-artifact mode must never touch the per-process slot"
+        );
+    }
+
+    #[test]
+    fn ls_result_on_linear_layout_shares_the_pilot_slot() {
+        let memo = ArtifactCache::new();
+        let w = workload();
+        let machine = MachineConfig::paper_default();
+        let pilot = memo
+            .pilot(&w, &machine, || {
+                crate::Experiment::for_workload(w.clone(), machine).run(crate::PolicyKind::Locality)
+            })
+            .unwrap();
+        // The pilot *is* the linear-layout LS result: looking it up
+        // through the generalized entry point must hit, not simulate.
+        let again = memo
+            .ls_result(&w, &machine, &Layout::linear(w.arrays()), || {
+                panic!("linear ls_result must be served from the pilot fill")
+            })
+            .unwrap();
+        assert!(Arc::ptr_eq(&pilot, &again));
+        let s = memo.stats();
+        assert_eq!((s.pilot_hits, s.pilot_misses), (1, 1));
+    }
+
+    #[test]
     fn first_writer_wins_under_racing_fills() {
         let memo = ArtifactCache::new();
         let w = workload();
         let layout = Layout::linear(w.arrays());
-        let sets: Vec<Arc<[Program]>> = std::thread::scope(|s| {
+        let sets: Vec<Arc<[Arc<Program>]>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)
                 .map(|_| s.spawn(|| memo.programs(&w, &layout)))
                 .collect();

@@ -10,8 +10,7 @@
 //!   × machine × policy × quantum/seed/threshold knob), grouped so the
 //!   results reassemble into the familiar [`ComparisonReport`]s;
 //! * [`SweepRunner`] — executes any indexed job list across
-//!   `std::thread::scope` workers pulling from a shared
-//!   `Mutex<VecDeque>` queue (the build image has no rayon; scoped
+//!   `std::thread::scope` workers (the build image has no rayon; scoped
 //!   threads need no `'static` bounds and no dependencies), with an
 //!   optional **longest-job-first** queue order
 //!   ([`SweepRunner::run_weighted`]) fed by up-front IR trace lengths;
@@ -33,6 +32,22 @@
 //! Differential tests in `crates/core/tests/sweep.rs` hold this contract
 //! against the sequential path; the golden makespans in
 //! `tests/cross_validation.rs` pin it across PRs.
+//!
+//! # Work stealing
+//!
+//! Parallel runs used to pull from one shared `Mutex<VecDeque>`; with
+//! the per-process memo making individual jobs cheap, that single lock
+//! became the named contention point. Workers now own **per-worker
+//! deques**: the (optionally LJF-sorted) queue is dealt round-robin
+//! across the workers up front — preserving the longest-first order
+//! *within* each deque — and a worker whose own deque runs dry
+//! **steals from a pseudo-randomly chosen victim** (a deterministic
+//! splitmix64 stream per worker; no global lock, no shared RNG, no
+//! dependencies). Stealing only changes *which worker* runs a job and
+//! *when* — results are still written into enumeration-indexed slots
+//! and reassembled in order, so reports remain bit-identical to the
+//! single-queue (and fully sequential) reference at any thread count,
+//! differentially pinned in `crates/core/tests/sweep.rs`.
 //!
 //! Errors are reported deterministically too: when several jobs fail,
 //! the error of the *earliest enumerated* failing job is returned. A
@@ -78,6 +93,29 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".to_owned()
     }
+}
+
+/// Seeds a worker's private splitmix64 stream from its index. One
+/// mixing step up front so workers 0, 1, 2… start from decorrelated
+/// states rather than adjacent integers.
+fn splitmix64_seed(worker: u64) -> u64 {
+    let mut state = worker.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut state);
+    state
+}
+
+/// One step of the splitmix64 generator: cheap, dependency-free,
+/// deterministic victim selection for work stealing. Quality hardly
+/// matters — any spread that keeps idle workers from all hammering
+/// deque 0 will do — but determinism does: results never depend on the
+/// stream (slots are index-addressed), so no entropy source belongs
+/// here.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Executes indexed jobs across a fixed-size scoped thread pool.
@@ -194,14 +232,26 @@ impl SweepRunner {
     }
 
     /// Shared driver: executes `f` over the queued indices (in queue
-    /// order for one thread; popped from the front by workers
+    /// order for one thread; per-worker deques with stealing
     /// otherwise), returning results **in index order**.
+    ///
+    /// The queue order is dealt round-robin across `min(threads, n)`
+    /// worker deques, so a longest-job-first order stays longest-first
+    /// within every deque. Each worker drains its own deque from the
+    /// front; when empty it scans the other deques for a victim,
+    /// starting at a pseudo-random offset from its private splitmix64
+    /// stream (seeded by worker index — deterministic per run shape,
+    /// but irrelevant to results either way), and steals the victim's
+    /// front job (the victim's best remaining job — LJF is preserved
+    /// under stealing too). A worker exits after a full scan finds
+    /// every deque empty, which is final: jobs never enqueue jobs, so
+    /// deques only shrink.
     ///
     /// Lock poisoning is recovered, not propagated: a job that panics
     /// (under [`SweepRunner::run`], where the unwind crosses the scope)
-    /// can poison the queue or slot mutex from the perspective of its
+    /// can poison a deque or the slot mutex from the perspective of its
     /// sibling workers, and `PoisonError::into_inner` takes the guard
-    /// anyway. That is sound — the queue holds plain indices and every
+    /// anyway. That is sound — deques hold plain indices and every
     /// slot write is a whole-`Option` store, so no invariant can be
     /// half-updated by an unwinding writer.
     fn run_queue<T, F>(&self, order: VecDeque<usize>, f: F) -> Vec<T>
@@ -220,20 +270,44 @@ impl SweepRunner {
                 .map(|slot| slot.expect("every index was queued"))
                 .collect();
         }
-        let queue: Mutex<VecDeque<usize>> = Mutex::new(order);
+        let workers = self.threads.min(n);
+        let mut deal: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (k, i) in order.into_iter().enumerate() {
+            deal[k % workers].push_back(i);
+        }
+        let queues: Vec<Mutex<VecDeque<usize>>> = deal.into_iter().map(Mutex::new).collect();
         let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
         std::thread::scope(|s| {
-            for _ in 0..self.threads.min(n) {
-                s.spawn(|| loop {
-                    // Pop inside a tight scope so the queue lock is
-                    // released while the job runs.
-                    let next = queue
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .pop_front();
-                    let Some(i) = next else { break };
-                    let out = f(i);
-                    slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(out);
+            for me in 0..workers {
+                let queues = &queues;
+                let slots = &slots;
+                let f = &f;
+                s.spawn(move || {
+                    let mut rng = splitmix64_seed(me as u64);
+                    loop {
+                        // Pop inside a tight scope so no deque lock is
+                        // held while the job runs.
+                        let mine = queues[me]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .pop_front();
+                        let next = mine.or_else(|| {
+                            let start = (splitmix64(&mut rng) as usize) % workers;
+                            (0..workers).find_map(|k| {
+                                let v = (start + k) % workers;
+                                if v == me {
+                                    return None;
+                                }
+                                queues[v]
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .pop_front()
+                            })
+                        });
+                        let Some(i) = next else { break };
+                        let out = f(i);
+                        slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(out);
+                    }
                 });
             }
         });

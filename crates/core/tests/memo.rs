@@ -451,8 +451,155 @@ fn observable(p: BusParams) -> (u8, u64, u64) {
     }
 }
 
+/// Like [`build_workload`], but each process touches **one private
+/// array** (p0 → A, p1 → B): the disjoint-touch shape whose delta keys
+/// must survive a remap of the *other* process's array — the reuse the
+/// per-process program slot exists for.
+fn build_split_workload(p: WorkloadParams) -> Workload {
+    let mut arrays = ArrayTable::new();
+    let a = arrays.push(ArrayDecl::new("A", vec![p.n], 4));
+    let b = arrays.push(ArrayDecl::new("B", vec![p.n], 4));
+    let mk = |nm: &str, arr, lo: i64, hi: i64| ProcessSpec {
+        name: nm.to_string(),
+        space: IterSpace::builder().dim_range("i", lo, hi).build().unwrap(),
+        accesses: vec![
+            AccessSpec::read(arr, AffineMap::new(vec![AffineExpr::var("i")])),
+            AccessSpec::write(arr, AffineMap::new(vec![AffineExpr::var("i")])),
+        ],
+        compute_cycles_per_iter: p.compute,
+    };
+    let app = AppSpec {
+        name: "delta-probe".into(),
+        description: "delta key probe".into(),
+        arrays,
+        processes: vec![
+            mk("p0", a, 0, p.span),
+            mk("p1", b, p.shift, p.shift + p.span),
+        ],
+        deps: if p.dep { vec![(0, 1)] } else { vec![] },
+    };
+    Workload::single(app).expect("probe app is valid")
+}
+
+#[test]
+fn lsm_ladder_with_per_process_reuse_is_bit_identical_when_bounded() {
+    // The LSM mix again, but through *bounded* caches: the delta-keyed
+    // per-process reuse path must stay bit-identical to the disabled
+    // cache at every capacity — including 0 (store nothing) and 1
+    // (maximal churn) — at 1 and 4 threads.
+    let apps = vec![suite::shape(Scale::Tiny), suite::track(Scale::Tiny)];
+    let exp = Experiment::concurrent(&apps, MachineConfig::paper_default().with_cores(4))
+        .with_seed(12345);
+    let mut matrix = ScenarioMatrix::new();
+    matrix.push_all("mix2", &exp, PolicyKind::ALL);
+
+    let reference = matrix
+        .run_with_memo(&SweepRunner::sequential(), &ArtifactCache::disabled())
+        .expect("uncached mix sweep runs");
+    let reference_repr = format!("{reference:?}");
+
+    // Unbounded first, and confirm the reuse actually fires end to end:
+    // ladder candidates remap a strict subset of the arrays, so the
+    // untouched processes' programs must come from the per-process slot.
+    let memo = ArtifactCache::shared();
+    let got = matrix
+        .run_with_memo(&SweepRunner::sequential(), &memo)
+        .expect("cached mix sweep runs");
+    assert_eq!(format!("{got:?}"), reference_repr, "unbounded delta reuse");
+    let stats = memo.stats();
+    assert!(
+        stats.per_process_hits > 0,
+        "the ladder should reuse per-process programs: {stats}"
+    );
+
+    let caps_for = |policy: EvictionPolicy| match policy {
+        // The boundary capacities matter for every policy; interior
+        // capacities only exercise the (policy-agnostic) reuse logic
+        // once more, so one policy covers them.
+        EvictionPolicy::Lru => vec![0usize, 1, 6, 1024],
+        _ => vec![0usize, 1],
+    };
+    for policy in ALL_POLICIES {
+        for capacity in caps_for(policy) {
+            for threads in [1usize, 4] {
+                let memo = Arc::new(ArtifactCache::bounded(capacity, policy));
+                let got = matrix
+                    .run_with_memo(&SweepRunner::new(threads), &memo)
+                    .expect("bounded mix sweep runs");
+                assert_eq!(
+                    format!("{got:?}"),
+                    reference_repr,
+                    "{policy} capacity {capacity} at {threads} threads drifted from disabled"
+                );
+                assert!(
+                    memo.stats().occupancy_entries <= capacity as u64,
+                    "{policy} capacity {capacity}: {}",
+                    memo.stats()
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole soundness: two (process, candidate-layout) pairs may
+    /// share a delta key **only** when the effective restricted layouts
+    /// compile byte-identical programs — the invariant that makes
+    /// serving one process's compiled program to another lookup safe.
+    #[test]
+    fn delta_keys_collide_only_for_byte_identical_programs(
+        wp in workload_params(),
+        split in 0u8..2,
+        ca in (0u8..3, 0u8..3),
+        cb in (0u8..3, 0u8..3),
+    ) {
+        let w = if split == 1 { build_split_workload(wp) } else { build_workload(wp) };
+        let (la, lb) = (layout_for(&w, ca), layout_for(&w, cb));
+        for proc in w.process_ids() {
+            let touched = w.arrays_of(proc);
+            let key_a = (w.process_fingerprint(proc), la.restricted_fingerprint(&touched));
+            let key_b = (w.process_fingerprint(proc), lb.restricted_fingerprint(&touched));
+            if key_a == key_b {
+                prop_assert_eq!(
+                    w.compile_trace(proc, &la),
+                    w.compile_trace(proc, &lb),
+                    "equal delta key must mean byte-identical programs ({:?} vs {:?})",
+                    ca, cb
+                );
+            }
+            // The key is a pure function of content: recomputed, it
+            // cannot drift.
+            prop_assert_eq!(
+                key_a,
+                (w.process_fingerprint(proc), la.restricted_fingerprint(&touched))
+            );
+        }
+        // Workload level: an equal delta fingerprint means every
+        // process compiles identically — identical engine input, hence
+        // the ladder may resolve the candidate from the pilot's result.
+        if w.delta_fingerprint(&la) == w.delta_fingerprint(&lb) {
+            for proc in w.process_ids() {
+                prop_assert_eq!(w.compile_trace(proc, &la), w.compile_trace(proc, &lb));
+            }
+        }
+        // The positive direction the slot exists for: a process whose
+        // (sole, unremapped) array is untouched by the candidate's remap
+        // keeps its key and program even though the whole-layout
+        // fingerprints differ.
+        if split == 1 && ca.0 == 0 && cb.0 == 0 {
+            let p0 = w.process_ids().next().expect("two processes");
+            let touched = w.arrays_of(p0);
+            prop_assert_eq!(
+                la.restricted_fingerprint(&touched),
+                lb.restricted_fingerprint(&touched),
+                "remap-disjoint process must keep its restricted key ({:?} vs {:?})",
+                ca, cb
+            );
+            prop_assert_eq!(w.compile_trace(p0, &la), w.compile_trace(p0, &lb));
+        }
+    }
 
     /// Machine fingerprints — the pilot memo's machine axis — collide
     /// only for identical bus configurations: a memoized pilot can

@@ -224,6 +224,82 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tentpole: the per-worker-deque, steal-from-random-victim
+    /// scheduler must reassemble results bit-identically to the
+    /// sequential single-queue reference for any weight matrix at 1, 2,
+    /// 4 and 8 threads.
+    #[test]
+    fn work_stealing_matches_single_queue_reference(
+        weights in prop::collection::vec(0u64..1000, 0usize..64),
+    ) {
+        let job = |i: usize| (i as u64) * 31 + weights[i];
+        let reference = SweepRunner::sequential().run_weighted(&weights, job);
+        for threads in [1usize, 2, 4, 8] {
+            let got = SweepRunner::new(threads).run_weighted(&weights, job);
+            prop_assert_eq!(&got, &reference, "drift at {} threads", threads);
+        }
+    }
+
+    /// Panic isolation on the stealing path: whatever subset of jobs
+    /// panics, each failure lands in its own slot as `JobPanicked` and
+    /// every sibling's result survives, at every thread count.
+    #[test]
+    fn work_stealing_isolates_panics_for_any_panic_subset(
+        jobs in prop::collection::vec((0u64..1000, 0u8..4), 1usize..24),
+    ) {
+        use lams_core::Error;
+        let weights: Vec<u64> = jobs.iter().map(|j| j.0).collect();
+        let panics: Vec<bool> = jobs.iter().map(|j| j.1 == 0).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let results = SweepRunner::new(threads).run_weighted_caught(&weights, |i| {
+                if panics[i] {
+                    panic!("job {i} down");
+                }
+                i as u64 + 100
+            });
+            prop_assert_eq!(results.len(), weights.len());
+            for (i, r) in results.iter().enumerate() {
+                if panics[i] {
+                    prop_assert!(
+                        matches!(r, Err(Error::JobPanicked { job, .. }) if *job == i),
+                        "slot {} at {} threads: {:?}", i, threads, r
+                    );
+                } else {
+                    prop_assert_eq!(*r.as_ref().unwrap(), i as u64 + 100);
+                }
+            }
+        }
+    }
+}
+
+/// Work-stealing edge cases: empty and single-job sweeps — where the
+/// deque deal degenerates to one worker or none — on both the plain
+/// and the caught paths, at every thread count.
+#[test]
+fn empty_and_single_job_sweeps_at_every_thread_count() {
+    for threads in [1usize, 2, 4, 8] {
+        let runner = SweepRunner::new(threads);
+        assert_eq!(runner.run(0, |_| 0u64), Vec::<u64>::new());
+        assert_eq!(runner.run(1, |i| i + 41), vec![41]);
+        let empty: Vec<u64> = vec![];
+        assert!(runner.run_weighted_caught(&empty, |_| 0u64).is_empty());
+        let one = runner.run_weighted_caught(&[7u64], |i| i as u64 + 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(*one[0].as_ref().expect("single job survives"), 1);
+        // A single panicking job still reports cleanly and leaves the
+        // runner reusable.
+        let boom = runner.run_caught(1, |_| -> u64 { panic!("solo") });
+        assert!(matches!(
+            &boom[0],
+            Err(lams_core::Error::JobPanicked { job: 0, .. })
+        ));
+        assert_eq!(runner.run(2, |i| i), vec![0, 1]);
+    }
+}
+
 /// Satellite: panic isolation. A job that panics mid-sweep must (1)
 /// surface as `Error::JobPanicked` for exactly that job, (2) leave
 /// every sibling's result intact and in slot order, and (3) leave the

@@ -150,6 +150,57 @@ impl Layout {
         h.finish()
     }
 
+    /// Content fingerprint of the layout **restricted to** the given
+    /// arrays — the per-process memo key primitive behind delta-keyed
+    /// memoization (`lams_core::memo::ArtifactCache`).
+    ///
+    /// Hashes exactly the layout data that can influence the addresses
+    /// (and therefore the compiled trace program) of a process touching
+    /// only `arrays`: each listed array's id, base, element size,
+    /// element count and remap offset, plus the half-page chunk size
+    /// **only when at least one listed array is remapped** — unremapped
+    /// arrays ignore `half_page` entirely, and hashing it
+    /// unconditionally would spuriously split the linear layout
+    /// (`half_page` = one line pair) from a remapped candidate
+    /// (`half_page` = C/2) for processes the remap never touches.
+    /// Equal restricted fingerprints therefore imply byte-identical
+    /// compiled programs for any process whose touched-array set is
+    /// `arrays` (soundness proptested in `crates/core/tests/memo.rs`).
+    ///
+    /// `arrays` must be sorted by id (callers pass
+    /// `Workload::arrays_of`, which is) so independently built but
+    /// identical restrictions hash equal.
+    pub fn restricted_fingerprint(&self, arrays: &[ArrayId]) -> lams_mpsoc::Fingerprint {
+        debug_assert!(
+            arrays.windows(2).all(|w| w[0] < w[1]),
+            "restriction array list must be sorted and duplicate-free"
+        );
+        let mut h = lams_mpsoc::FingerprintHasher::new("lams.layout.restricted");
+        h.write_len(arrays.len());
+        let mut any_remapped = false;
+        for &a in arrays {
+            let i = a.as_usize();
+            h.write_u32(a.index());
+            h.write_u64(self.bases[i]);
+            h.write_u64(self.elem_bytes[i]);
+            h.write_u64(self.num_elems[i]);
+            match self.remap_b[i] {
+                None => h.write_bool(false),
+                Some(b) => {
+                    any_remapped = true;
+                    h.write_bool(true);
+                    h.write_u64(b);
+                }
+            }
+        }
+        // Chunking metadata only matters once a remapped lane exists.
+        h.write_bool(any_remapped);
+        if any_remapped {
+            h.write_u64(self.half_page);
+        }
+        h.finish()
+    }
+
     /// Byte address of the first byte of element `index` of `array`.
     ///
     /// This is the hot path of trace generation, so it does *not*
@@ -430,6 +481,53 @@ mod tests {
         assert_ne!(
             ra.fingerprint(),
             Layout::remapped(&t, &cache, &asg3).fingerprint()
+        );
+    }
+
+    #[test]
+    fn restricted_fingerprint_ignores_unlisted_arrays() {
+        let (t, a, b) = table2();
+        let cache = CacheConfig::paper_default();
+        let linear = Layout::linear(&t);
+        let mut asg = RemapAssignment::new();
+        asg.assign(b, HalfPage::Lower);
+        let rb = Layout::remapped(&t, &cache, &asg);
+        // Remapping only `b` leaves `a`'s addresses untouched (pass-1
+        // arena), so the restriction to `a` is key-equal across the two
+        // layouts — exactly the reuse the per-process memo needs — while
+        // the restriction to `b` (and the whole layout) must split.
+        assert_eq!(
+            linear.restricted_fingerprint(&[a]),
+            rb.restricted_fingerprint(&[a])
+        );
+        assert_ne!(
+            linear.restricted_fingerprint(&[b]),
+            rb.restricted_fingerprint(&[b])
+        );
+        assert_ne!(linear.fingerprint(), rb.fingerprint());
+        // Once the listed set contains a remapped array, half_page is
+        // part of the key.
+        assert_ne!(
+            linear.restricted_fingerprint(&[a, b]),
+            rb.restricted_fingerprint(&[a, b])
+        );
+    }
+
+    #[test]
+    fn restricted_fingerprint_separates_array_identity_and_set_size() {
+        let (t, a, b) = table2();
+        let l = Layout::linear(&t);
+        assert_ne!(
+            l.restricted_fingerprint(&[a]),
+            l.restricted_fingerprint(&[b])
+        );
+        assert_ne!(
+            l.restricted_fingerprint(&[a]),
+            l.restricted_fingerprint(&[a, b])
+        );
+        assert_eq!(
+            l.restricted_fingerprint(&[a, b]),
+            Layout::linear(&t).restricted_fingerprint(&[a, b])
         );
     }
 

@@ -111,6 +111,18 @@ impl FingerprintHasher {
         self.write_raw(&[x as u8]);
     }
 
+    /// Feeds a whole [`Fingerprint`] (both 64-bit words), the
+    /// composition primitive for *restricted* and *combined* keys: a
+    /// delta key over per-process restricted layout fingerprints, or a
+    /// (machine, layout-delta) pair folded into one pilot key. Feeding
+    /// the 128-bit digest rather than re-feeding the underlying fields
+    /// keeps composed keys O(1) per component and preserves the
+    /// collision bound of the components.
+    pub fn write_fingerprint(&mut self, fp: Fingerprint) {
+        self.write_u64(fp.0);
+        self.write_u64(fp.1);
+    }
+
     /// Finishes the two streams into a [`Fingerprint`].
     pub fn finish(&self) -> Fingerprint {
         Fingerprint(self.a, self.b)

@@ -110,6 +110,16 @@ impl Service {
                 ("hits", memo.hits().to_string()),
                 ("misses", memo.misses().to_string()),
                 ("hit_rate", format!("{:.4}", memo.hit_rate())),
+                ("program_hits", memo.program_hits.to_string()),
+                ("program_misses", memo.program_misses.to_string()),
+                ("per_process_hits", memo.per_process_hits.to_string()),
+                ("per_process_misses", memo.per_process_misses.to_string()),
+                ("sharing_hits", memo.sharing_hits.to_string()),
+                ("sharing_misses", memo.sharing_misses.to_string()),
+                ("pilot_hits", memo.pilot_hits.to_string()),
+                ("pilot_misses", memo.pilot_misses.to_string()),
+                ("weight_hits", memo.weight_hits.to_string()),
+                ("weight_misses", memo.weight_misses.to_string()),
                 ("occupancy", memo.occupancy_entries.to_string()),
                 (
                     "capacity",

@@ -80,6 +80,14 @@ impl Block {
 /// op stream or from structured loop pushes), executed batchwise
 /// through [`crate::Cursor`] (a [`lams_mpsoc::TraceSource`]), and
 /// serialized in the `.ltr` binary format (see `docs/trace-format.md`).
+///
+/// A `Program` is also the unit of per-process memoization: the
+/// artifact cache shares one compiled program across every layout
+/// whose *restricted* view (the arrays this process touches) is
+/// unchanged, so the derived `PartialEq` doubles as the soundness
+/// oracle for those delta keys — equal keys must imply structurally
+/// equal programs, which this equality (blocks, lanes, op count)
+/// witnesses field for field (see `docs/memoization.md`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     pub(crate) blocks: Vec<Block>,

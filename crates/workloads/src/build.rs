@@ -70,6 +70,9 @@ pub struct Workload {
     /// value — content is immutable after construction, so it stays
     /// valid.
     fp: std::sync::OnceLock<lams_mpsoc::Fingerprint>,
+    /// Lazily computed per-process content fingerprints (index =
+    /// process id; see [`Workload::process_fingerprint`]).
+    proc_fps: std::sync::OnceLock<Vec<lams_mpsoc::Fingerprint>>,
 }
 
 impl Workload {
@@ -163,6 +166,7 @@ impl Workload {
             tasks,
             procs,
             fp: std::sync::OnceLock::new(),
+            proc_fps: std::sync::OnceLock::new(),
         })
     }
 
@@ -253,6 +257,79 @@ impl Workload {
             }
             h.finish()
         })
+    }
+
+    /// Content fingerprint of one process: a structural hash over
+    /// exactly what trace generation and compilation read from the
+    /// process — iteration space (bounding box, plus the constraint
+    /// system for non-box spaces), accesses (global array id,
+    /// linearized coefficients, constant, read/write), compute cost and
+    /// iteration count. Deliberately excludes the process name, its
+    /// task and the dependence edges: none of them influence the
+    /// compiled [`lams_trace::Program`], so two structurally identical
+    /// processes of *different* workloads key to the same per-process
+    /// memo slot — the cross-candidate (and cross-workload) reuse
+    /// delta-keyed memoization is built on. Paired with
+    /// [`Layout::restricted_fingerprint`] over
+    /// [`Workload::arrays_of`]`(p)`, equal key pairs imply
+    /// byte-identical compiled programs. Computed once per workload and
+    /// cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is out of range.
+    pub fn process_fingerprint(&self, p: ProcessId) -> lams_mpsoc::Fingerprint {
+        self.proc_fps.get_or_init(|| {
+            self.procs
+                .iter()
+                .map(|r| {
+                    let mut h = lams_mpsoc::FingerprintHasher::new("lams.process");
+                    h.write_len(r.bbox.len());
+                    for &(lo, hi) in &r.bbox {
+                        h.write_i64(lo);
+                        h.write_i64(hi);
+                    }
+                    h.write_bool(r.is_box);
+                    if !r.is_box {
+                        // Non-box traces iterate the space's member
+                        // points; the bbox alone does not determine them.
+                        h.write_str(&format!("{:?}", r.space));
+                    }
+                    h.write_len(r.accesses.len());
+                    for a in &r.accesses {
+                        h.write_u32(a.array.index());
+                        h.write_len(a.coeffs.len());
+                        for &c in &a.coeffs {
+                            h.write_i64(c);
+                        }
+                        h.write_i64(a.constant);
+                        h.write_bool(a.write);
+                    }
+                    h.write_u64(r.compute);
+                    h.write_u64(r.num_iters);
+                    h.finish()
+                })
+                .collect()
+        })[p.as_usize()]
+    }
+
+    /// The **delta key** of `(self, layout)`: a hash over every
+    /// process's [`Layout::restricted_fingerprint`] (in process order)
+    /// against its touched-array set. Two layouts with equal delta keys
+    /// compile every process to a byte-identical program — the whole
+    /// engine input is identical — so the delta key is a sound memo key
+    /// for layout-derived *results*, not just compiled programs, and it
+    /// deliberately ignores layout differences on arrays no process
+    /// touches (remapping those is unobservable). O(processes ×
+    /// touched arrays); the per-process restriction reuses the cached
+    /// footprint array sets.
+    pub fn delta_fingerprint(&self, layout: &Layout) -> lams_mpsoc::Fingerprint {
+        let mut h = lams_mpsoc::FingerprintHasher::new("lams.delta");
+        h.write_len(self.procs.len());
+        for p in self.process_ids() {
+            h.write_fingerprint(layout.restricted_fingerprint(&self.arrays_of(p)));
+        }
+        h.finish()
     }
 
     /// The workload's name (application names joined with `+`).
@@ -471,6 +548,33 @@ mod tests {
         // Dependences stay within tasks.
         assert_eq!(w.epg().num_edges(), 2);
         assert_eq!(w.epg().task_of(y0), Some(TaskId::new(1)));
+    }
+
+    #[test]
+    fn process_and_delta_fingerprints_track_content() {
+        let w = Workload::single(demo_app("d")).unwrap();
+        let w2 = Workload::single(demo_app("d")).unwrap();
+        let (p0, p1) = (ProcessId::new(0), ProcessId::new(1));
+        // Independently built identical workloads agree per process;
+        // structurally different processes (different ranges) split.
+        assert_eq!(w.process_fingerprint(p0), w2.process_fingerprint(p0));
+        assert_ne!(w.process_fingerprint(p0), w.process_fingerprint(p1));
+        // The process fingerprint is name-blind: the same structure
+        // under another application name keys identically (cross-
+        // workload program reuse), while the workload fingerprint —
+        // which names the report — still splits.
+        let other = Workload::single(demo_app("e")).unwrap();
+        assert_eq!(w.process_fingerprint(p0), other.process_fingerprint(p0));
+        assert_ne!(w.fingerprint(), other.fingerprint());
+
+        let layout = Layout::linear(w.arrays());
+        assert_eq!(w.delta_fingerprint(&layout), w2.delta_fingerprint(&layout));
+        // Remapping an array some process touches changes the delta key.
+        let mut asg = lams_layout::RemapAssignment::new();
+        asg.assign(ArrayId::new(0), lams_layout::HalfPage::Lower);
+        let remapped =
+            Layout::remapped(w.arrays(), &lams_mpsoc::CacheConfig::paper_default(), &asg);
+        assert_ne!(w.delta_fingerprint(&layout), w.delta_fingerprint(&remapped));
     }
 
     #[test]
