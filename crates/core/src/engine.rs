@@ -55,7 +55,10 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 use lams_layout::Layout;
-use lams_mpsoc::{CoreId, Machine, MachineConfig, MachineStats};
+use lams_mpsoc::{
+    machine_fingerprint, CoreId, Fingerprint, FingerprintHasher, Machine, MachineConfig,
+    MachineStats,
+};
 use lams_procgraph::{EpgBuilder, ProcessGraph, ProcessId, ReadyTracker};
 use lams_trace::{Cursor, TraceBundle};
 use lams_workloads::{Trace, Workload};
@@ -127,6 +130,37 @@ impl EngineConfig {
     pub fn with_deadline_cycles(mut self, budget: u64) -> Self {
         self.max_cycles = Some(budget);
         self
+    }
+
+    /// Content fingerprint over **every** field: two engine configs
+    /// producing different results must never share a memo key. The
+    /// machine enters as its own composed fingerprint; the options
+    /// follow the presence-flag-then-value idiom of
+    /// [`machine_fingerprint`] so `None` and `Some(0)` stay distinct.
+    /// (`trace_mode` changes no results, but a key that distinguishes
+    /// the modes keeps differential runs honest about what they hit.)
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new("lams.engine-config");
+        h.write_fingerprint(machine_fingerprint(&self.machine));
+        match self.quantum_override {
+            None => h.write_bool(false),
+            Some(q) => {
+                h.write_bool(true);
+                h.write_u64(q);
+            }
+        }
+        h.write_u64(match self.trace_mode {
+            TraceMode::Ir => 0,
+            TraceMode::Scalar => 1,
+        });
+        match self.max_cycles {
+            None => h.write_bool(false),
+            Some(c) => {
+                h.write_bool(true);
+                h.write_u64(c);
+            }
+        }
+        h.finish()
     }
 }
 

@@ -82,7 +82,7 @@ use lams_mpsoc::{machine_fingerprint, Fingerprint, MachineConfig};
 use lams_trace::Program;
 use lams_workloads::Workload;
 
-use crate::replacement::{EvictionPolicy, ReplacementTracker};
+use crate::replacement::{lock_witness, EvictionPolicy, ReplacementTracker};
 use crate::{Result, RunResult, SharingMatrix};
 
 /// Number of lock stripes per map. Sweeps run at most a few dozen
@@ -124,11 +124,11 @@ impl<K: Eq + Hash, V: Clone> Striped<K, V> {
     }
 
     fn get(&self, stripe: usize, key: &K) -> Option<V> {
-        self.shards[stripe]
+        let shard = self.shards[stripe]
             .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(key)
-            .cloned()
+            .unwrap_or_else(PoisonError::into_inner);
+        let _held = lock_witness::StripeWitness::acquire();
+        shard.get(key).cloned()
     }
 
     /// Publishes `value` unless another writer got there first; returns
@@ -139,6 +139,7 @@ impl<K: Eq + Hash, V: Clone> Striped<K, V> {
         let mut shard = self.shards[stripe]
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        let _held = lock_witness::StripeWitness::acquire();
         match shard.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
             std::collections::hash_map::Entry::Vacant(e) => (e.insert(value).clone(), true),
@@ -147,17 +148,22 @@ impl<K: Eq + Hash, V: Clone> Striped<K, V> {
 
     /// Drops `key` (eviction); absent keys are a no-op.
     fn remove(&self, stripe: usize, key: &K) {
-        self.shards[stripe]
+        let mut shard = self.shards[stripe]
             .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .remove(key);
+            .unwrap_or_else(PoisonError::into_inner);
+        let _held = lock_witness::StripeWitness::acquire();
+        shard.remove(key);
     }
 
     /// Total entries across all stripes.
     fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .map(|shard| {
+                let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+                let _held = lock_witness::StripeWitness::acquire();
+                shard.len()
+            })
             .sum()
     }
 }
@@ -412,6 +418,7 @@ impl ArtifactCache {
     /// unbounded — there is nothing to rank).
     fn note_hit(&self, key: SlotKey) {
         if self.capacity.is_some() {
+            lock_witness::assert_no_stripe_held();
             self.tracker
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
@@ -424,6 +431,7 @@ impl ArtifactCache {
     /// inserted tracks the entry; losers record a touch.
     fn admit(&self, key: SlotKey, inserted: bool) {
         let Some(cap) = self.capacity else { return };
+        lock_witness::assert_no_stripe_held();
         let mut tracker = self.tracker.lock().unwrap_or_else(PoisonError::into_inner);
         if inserted {
             tracker.insert(key);
@@ -672,11 +680,13 @@ impl ArtifactCache {
     pub fn stats(&self) -> MemoStats {
         let c = |i: usize| self.counters[i].load(Ordering::Relaxed);
         let occupancy = match self.capacity {
-            Some(_) => self
-                .tracker
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .len(),
+            Some(_) => {
+                lock_witness::assert_no_stripe_held();
+                self.tracker
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .len()
+            }
             None => {
                 self.programs.len()
                     + self.proc_programs.len()

@@ -237,6 +237,98 @@ impl<K: Eq + Hash + Copy> ReplacementTracker<K> {
     }
 }
 
+/// Debug-build runtime witness of the cache's lock-order invariant: the
+/// tracker lock (which guards this module's bookkeeping) may only be
+/// taken while the taking thread holds **no** stripe lock — the reverse
+/// nesting (stripe under tracker) is eviction's allowed direction.
+///
+/// This is the dynamic twin of `lams-lint`'s static `lock-order` pass:
+/// the lint proves the ordering over the call graph it can see; the
+/// witness catches whatever slips past a heuristic analyzer (trait
+/// dispatch, callbacks) on every debug/test run. Release builds compile
+/// both operations to nothing.
+pub(crate) mod lock_witness {
+    #[cfg(debug_assertions)]
+    use std::cell::Cell;
+
+    #[cfg(debug_assertions)]
+    thread_local! {
+        /// Stripe locks currently held by this thread.
+        static STRIPES_HELD: Cell<usize> = const { Cell::new(0) };
+    }
+
+    /// RAII marker for one held stripe lock. Declare it immediately
+    /// after the stripe guard, so it drops (in reverse declaration
+    /// order) just before the guard releases.
+    #[must_use]
+    pub(crate) struct StripeWitness {
+        /// Prevents construction without [`StripeWitness::acquire`].
+        _priv: (),
+    }
+
+    impl StripeWitness {
+        pub(crate) fn acquire() -> StripeWitness {
+            #[cfg(debug_assertions)]
+            STRIPES_HELD.with(|c| c.set(c.get() + 1));
+            StripeWitness { _priv: () }
+        }
+    }
+
+    impl Drop for StripeWitness {
+        fn drop(&mut self) {
+            #[cfg(debug_assertions)]
+            STRIPES_HELD.with(|c| c.set(c.get() - 1));
+        }
+    }
+
+    /// Asserts (debug builds only) that this thread holds no stripe
+    /// lock. Call immediately before acquiring the tracker lock.
+    pub(crate) fn assert_no_stripe_held() {
+        #[cfg(debug_assertions)]
+        STRIPES_HELD.with(|c| {
+            debug_assert_eq!(
+                c.get(),
+                0,
+                "tracker lock requested while a stripe lock is held — \
+                 stripe→tracker nesting deadlocks against eviction's \
+                 tracker→stripe direction"
+            );
+        });
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        #[cfg(debug_assertions)]
+        #[should_panic(expected = "stripe lock is held")]
+        fn stripe_then_tracker_is_caught() {
+            let _w = StripeWitness::acquire();
+            assert_no_stripe_held();
+        }
+
+        #[test]
+        fn witness_releases_on_drop() {
+            {
+                let _w = StripeWitness::acquire();
+            }
+            assert_no_stripe_held();
+        }
+
+        #[test]
+        fn nested_witnesses_count() {
+            let _a = StripeWitness::acquire();
+            {
+                let _b = StripeWitness::acquire();
+            }
+            // Still one outstanding: dropping `_b` must not zero the
+            // count. (Indirectly observed: no panic on drop underflow
+            // when `_a` goes out of scope.)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,87 @@
+//! Findings: what a pass reports, with file/line accuracy and severity.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// How serious a finding is. Only [`Severity::Error`] findings fail the
+/// build; warnings are printed but exit 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Printed, does not fail the lint.
+    Warning,
+    /// Fails the lint unless suppressed by a pragma.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding: a pass, a location, a severity and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The pass that produced it (a name from
+    /// [`crate::passes::PASS_NAMES`], or `pragma` for framework
+    /// findings about the pragmas themselves).
+    pub pass: &'static str,
+    /// File the finding anchors to (workspace-relative when scanned
+    /// through [`crate::workspace::Workspace::load`]).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl Finding {
+    /// An error-severity finding.
+    pub fn error(
+        pass: &'static str,
+        file: impl Into<PathBuf>,
+        line: u32,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            pass,
+            file: file.into(),
+            line,
+            severity: Severity::Error,
+            message: message.into(),
+        }
+    }
+
+    /// A warning-severity finding.
+    pub fn warning(
+        pass: &'static str,
+        file: impl Into<PathBuf>,
+        line: u32,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            pass,
+            file: file.into(),
+            line,
+            severity: Severity::Warning,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}",
+            self.file.display(),
+            self.line,
+            self.severity,
+            self.pass,
+            self.message
+        )
+    }
+}

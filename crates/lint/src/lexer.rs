@@ -1,0 +1,433 @@
+//! A small hand-rolled Rust lexer — just enough syntax awareness for
+//! the lint passes: identifiers, punctuation, literals and comments,
+//! each tagged with its 1-based source line.
+//!
+//! The lexer is deliberately *not* a full Rust grammar. Passes reason
+//! over token sequences (`struct` …, `fn` …, `.` `lock` `(`), which is
+//! robust against formatting and comments while staying dependency-free
+//! (the workspace builds offline; crates.io lexers are off the table,
+//! the same constraint the vendored `rand`/`proptest` stand-ins answer).
+//! What it *must* get exactly right is what would otherwise corrupt a
+//! token stream: string/char/byte/raw-string literals (so `"a.lock()"`
+//! never looks like a lock site), nested block comments, lifetimes
+//! versus char literals, and line accounting across all of them.
+
+/// What a token is. Literal payloads are kept only where a pass needs
+/// them (identifiers for name matching); punctuation is one char per
+/// token (`>>` arrives as two `>`s), which every consumer here treats
+/// uniformly via depth counting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `struct`, `lock`, `shards`, …).
+    Ident(String),
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// String / char / byte / numeric literal (payload dropped).
+    Literal,
+    /// One punctuation character (`.`, `(`, `{`, `!`, `<`, …).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, when this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// Whether this token is exactly the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(t) if t == s)
+    }
+}
+
+/// One comment (line or block) with its location, for pragma scanning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether any non-comment token precedes it on the same line
+    /// (trailing comment) — decides which line a pragma suppresses.
+    pub trailing: bool,
+}
+
+/// The result of lexing one file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Unterminated literals/comments are tolerated
+/// (the remainder of the file is consumed as that literal): the lint
+/// must degrade gracefully on code rustc itself would reject.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Line of the most recent code token, to mark trailing comments.
+    let mut last_token_line: u32 = 0;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            line += b[$range].iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = src[start..i].trim_start_matches('/').trim().to_string();
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    trailing: last_token_line == line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let text = src[start..i]
+                    .trim_start_matches("/*")
+                    .trim_end_matches("*/")
+                    .trim()
+                    .to_string();
+                out.comments.push(Comment {
+                    text,
+                    line: start_line,
+                    trailing: last_token_line == start_line,
+                });
+            }
+            b'"' => {
+                let end = scan_string(b, i);
+                bump_lines!(i..end);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                last_token_line = line;
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let end = scan_raw_or_byte(b, i);
+                let tok_line = line;
+                bump_lines!(i..end);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: tok_line,
+                });
+                last_token_line = line;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): a lifetime is `'` + ident-start NOT followed
+                // by a closing quote.
+                let is_lifetime = match b.get(i + 1) {
+                    Some(&n) if n == b'_' || n.is_ascii_alphabetic() => {
+                        b.get(i + 2) != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    if b.get(i) == Some(&b'\\') {
+                        i += 2; // escape + escaped char
+                    } else {
+                        i += 1;
+                    }
+                    // Consume up to the closing quote (unicode escapes
+                    // like '\u{1F600}' span several bytes).
+                    while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    if i < b.len() && b[i] == b'\'' {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                }
+                last_token_line = line;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    line,
+                });
+                last_token_line = line;
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers (including 0x…, 1_000u64, 1.5e3). A trailing
+                // type suffix is consumed as part of the literal.
+                while i < b.len()
+                    && (b[i] == b'_'
+                        || b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit)
+                        || b[i].is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                last_token_line = line;
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c as char),
+                    line,
+                });
+                last_token_line = line;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a `"…"` string starting at the opening quote; returns the
+/// index one past the closing quote.
+fn scan_string(b: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether position `i` starts a raw string (`r"`, `r#"`), byte string
+/// (`b"`), raw byte string (`br#"`) or byte char (`b'`).
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j > i && j < b.len() && (b[j] == b'"' || (b[j] == b'\'' && b[i] == b'b'))
+}
+
+/// Scans the raw/byte string starting at `i`; returns one past its end.
+fn scan_raw_or_byte(b: &[u8], start: usize) -> usize {
+    let mut i = start;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    let raw = i < b.len() && b[i] == b'r';
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() {
+        return i;
+    }
+    if b[i] == b'\'' {
+        // Byte char b'x'.
+        i += 1;
+        if b.get(i) == Some(&b'\\') {
+            i += 2;
+        } else {
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'\'' {
+            i += 1;
+        }
+        return i;
+    }
+    debug_assert_eq!(b[i], b'"');
+    i += 1;
+    if !raw {
+        // Plain byte string: backslash escapes apply.
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'"' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        return i;
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut k = 0;
+            while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_and_punctuation() {
+        let l = lex("fn main() { x.lock(); }");
+        assert_eq!(
+            idents("fn main() { x.lock(); }"),
+            ["fn", "main", "x", "lock"]
+        );
+        assert!(l.tokens.iter().any(|t| t.is_punct('{')));
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "a.lock() fn struct";"#), ["let", "s"]);
+        assert_eq!(
+            idents(r##"let s = r#"x.lock() "quoted" more"# ;"##),
+            ["let", "s"]
+        );
+        assert_eq!(idents(r#"let s = b"bytes.lock()";"#), ["let", "s"]);
+        assert_eq!(
+            idents("let c = '\\'';  let d = 'a'; let e = b'x';"),
+            ["let", "c", "let", "d", "let", "e"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn comments_collected_with_lines_and_trailing_flag() {
+        let src =
+            "let a = 1; // trailing note\n// standalone\nlet b = 2;\n/* block\nspans */ let c = 3;";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 3);
+        assert_eq!((l.comments[0].line, l.comments[0].trailing), (1, true));
+        assert_eq!(l.comments[0].text, "trailing note");
+        assert_eq!((l.comments[1].line, l.comments[1].trailing), (2, false));
+        // Block comment starts on line 4; `let c` lands on line 5.
+        assert_eq!((l.comments[2].line, l.comments[2].trailing), (4, false));
+        let c_line = l
+            .tokens
+            .iter()
+            .rev()
+            .find(|t| t.is_ident("c"))
+            .unwrap()
+            .line;
+        assert_eq!(c_line, 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still outer */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), ["fn", "f"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let s = \"one\ntwo\nthree\";\nfn after() {}";
+        let l = lex(src);
+        let after = l.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn numeric_literals_with_suffixes() {
+        assert_eq!(
+            idents("let x = 1_000u64 + 0xFFusize + 1.5e3;"),
+            ["let", "x"]
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! `lams-lint`: a std-only, workspace-aware static analyzer for the
+//! invariants this workspace's tests cannot see.
+//!
+//! Four passes over a hand-rolled token stream (see [`lexer`]):
+//!
+//! * **fingerprint-coverage** — every field of a registered config
+//!   struct is written into its fingerprint fn (memo keys never alias);
+//! * **lock-order** — the interprocedural mutex acquisition graph has
+//!   no cycles and never nests the replacement tracker under a stripe;
+//! * **determinism** — result-producing crates read no clocks, thread
+//!   ids, or unordered-container iteration order;
+//! * **panic-policy** — the serve request path returns typed errors
+//!   instead of panicking.
+//!
+//! Findings are file/line-accurate and suppressible in place with
+//! `// lams-lint: allow(<pass>, reason = "…")` (see [`pragma`]). The
+//! binary exits nonzero on any unsuppressed error, which is how CI
+//! runs it.
+
+pub mod findings;
+pub mod lexer;
+pub mod passes;
+pub mod pragma;
+pub mod workspace;
+
+pub use findings::{Finding, Severity};
+pub use workspace::Workspace;

@@ -1,0 +1,61 @@
+//! The `lams_lint` binary: scan, run every pass, print findings, exit
+//! nonzero on unsuppressed errors.
+//!
+//! Usage: `lams_lint [ROOT…]`. With no roots it scans the workspace
+//! defaults (`crates/`, `src/`, `tests/` under the current directory,
+//! whichever exist), which is how CI invokes it; explicit roots are for
+//! fixture smokes and focused runs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lams_lint::passes;
+use lams_lint::{Severity, Workspace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        let defaults: Vec<PathBuf> = ["crates", "src", "tests"]
+            .iter()
+            .map(PathBuf::from)
+            .filter(|p| p.is_dir())
+            .collect();
+        if defaults.is_empty() {
+            eprintln!("lams-lint: no crates/, src/ or tests/ under the current directory");
+            return ExitCode::FAILURE;
+        }
+        defaults
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let ws = match Workspace::load(&roots) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("lams-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let findings = passes::run_all(&ws);
+    for f in &findings {
+        println!("{f}");
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let suppressions: usize = ws.files.iter().map(|f| f.suppressions.len()).sum();
+    println!(
+        "lams-lint: {} files, {} findings ({} errors), {} suppressions",
+        ws.files.len(),
+        findings.len(),
+        errors,
+        suppressions
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,262 @@
+//! determinism: result-producing code must not read clocks, thread
+//! identity, or unordered-container iteration order.
+//!
+//! The simulator's contract (pinned by the fig6 golden checksum and the
+//! sweep-equivalence suites) is bit-identical output for identical
+//! inputs, at any thread count. Three things quietly break that:
+//! `Instant`/`SystemTime` reads, `thread::current().id()`, and
+//! iterating a `HashMap`/`HashSet` (randomized order per process). This
+//! pass flags all three in the result-producing crates; timing code in
+//! `benches/` and the serve layer's wall-clock deadlines live outside
+//! the scoped paths, and justified uses take a pragma.
+
+use std::collections::HashSet;
+
+use crate::findings::Finding;
+use crate::workspace::{SourceFile, Workspace};
+
+/// Path fragments of the result-producing crates.
+const SCOPED: [&str; 5] = [
+    "crates/mpsoc/src",
+    "crates/core/src",
+    "crates/trace/src",
+    "crates/workloads/src",
+    "crates/layout/src",
+];
+
+/// Methods whose iteration order on an unordered map/set leaks into
+/// results.
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !SCOPED.iter().any(|p| file.path_contains(p)) {
+            continue;
+        }
+        check_file(file, &mut findings);
+    }
+    findings
+}
+
+fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let t = &file.tokens;
+    let unordered = unordered_vars(file);
+    for (k, tok) in t.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if file.in_test_code(tok.line) {
+            continue;
+        }
+        match name {
+            "Instant" | "SystemTime" => findings.push(Finding::error(
+                "determinism",
+                &file.path,
+                tok.line,
+                format!("`{name}` read in result-producing code — simulated time must come from the engine clock, not the host"),
+            )),
+            "thread" if is_thread_current_id(t, k) => findings.push(Finding::error(
+                "determinism",
+                &file.path,
+                tok.line,
+                "`thread::current().id()` in result-producing code — results must not depend on which worker ran the job",
+            )),
+            _ if unordered.contains(name) => {
+                if let Some(method) = iterated_via_method(t, k) {
+                    findings.push(Finding::error(
+                        "determinism",
+                        &file.path,
+                        tok.line,
+                        format!("`.{method}()` on unordered container `{name}` — HashMap/HashSet iteration order is nondeterministic"),
+                    ));
+                } else if in_for_loop_head(t, k) {
+                    findings.push(Finding::error(
+                        "determinism",
+                        &file.path,
+                        tok.line,
+                        format!("`for … in {name}` iterates an unordered container — HashMap/HashSet iteration order is nondeterministic"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Names declared (by annotation or `HashMap::new()`-style initializer)
+/// as HashMap/HashSet in this file. Outermost type only: a
+/// `Vec<Mutex<HashMap<…>>>` is indexed, not iterated, so its *owner* is
+/// not unordered.
+fn unordered_vars(file: &SourceFile) -> HashSet<String> {
+    let t = &file.tokens;
+    let mut names = HashSet::new();
+    for (k, tok) in t.iter().enumerate() {
+        // `name : [&/mut/path::]* HashMap/HashSet`
+        if tok.is_punct(':') && k >= 1 && !t.get(k + 1).is_some_and(|n| n.is_punct(':')) {
+            let Some(owner) = t[k - 1].ident() else {
+                continue;
+            };
+            if annotated_unordered(t, k + 1) {
+                names.insert(owner.to_string());
+            }
+        }
+        // `let [mut] name = HashMap::new(…)` / `HashSet::with_capacity(…)`
+        if (tok.is_ident("HashMap") || tok.is_ident("HashSet"))
+            && t.get(k + 1).is_some_and(|n| n.is_punct(':'))
+            && k >= 2
+            && t[k - 1].is_punct('=')
+        {
+            if let Some(owner) = t[k - 2].ident() {
+                names.insert(owner.to_string());
+            }
+        }
+    }
+    names
+}
+
+/// Whether the type annotation starting at `at` has HashMap/HashSet as
+/// its outermost constructor (skipping `&`, lifetimes, `mut`, and path
+/// prefixes like `std :: collections ::`).
+fn annotated_unordered(t: &[crate::lexer::Token], at: usize) -> bool {
+    let mut k = at;
+    loop {
+        let Some(tok) = t.get(k) else { return false };
+        if tok.is_punct('&')
+            || matches!(tok.kind, crate::lexer::TokenKind::Lifetime)
+            || tok.is_ident("mut")
+        {
+            k += 1;
+            continue;
+        }
+        let Some(name) = tok.ident() else {
+            return false;
+        };
+        // A path segment: `seg :: …` — keep walking to the last one.
+        if t.get(k + 1).is_some_and(|n| n.is_punct(':'))
+            && t.get(k + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            k += 3;
+            continue;
+        }
+        return name == "HashMap" || name == "HashSet";
+    }
+}
+
+/// Whether token `k` starts `thread :: current ( ) . id`.
+fn is_thread_current_id(t: &[crate::lexer::Token], k: usize) -> bool {
+    let want: [&dyn Fn(&crate::lexer::Token) -> bool; 7] = [
+        &|x| x.is_punct(':'),
+        &|x| x.is_punct(':'),
+        &|x| x.is_ident("current"),
+        &|x| x.is_punct('('),
+        &|x| x.is_punct(')'),
+        &|x| x.is_punct('.'),
+        &|x| x.is_ident("id"),
+    ];
+    want.iter()
+        .enumerate()
+        .all(|(off, p)| t.get(k + 1 + off).is_some_and(p))
+}
+
+/// Whether `name` at `k` is followed by `. <iter-method> (`.
+fn iterated_via_method(t: &[crate::lexer::Token], k: usize) -> Option<&'static str> {
+    if !t.get(k + 1).is_some_and(|n| n.is_punct('.')) {
+        return None;
+    }
+    let m = t.get(k + 2)?.ident()?;
+    if !t.get(k + 3).is_some_and(|n| n.is_punct('(')) {
+        return None;
+    }
+    ITER_METHODS.iter().copied().find(|&im| im == m)
+}
+
+/// Whether `name` at `k` is the iterated expression of a `for … in`
+/// head (allowing `&`/`mut` before it and a tuple/ident pattern after
+/// `for`).
+fn in_for_loop_head(t: &[crate::lexer::Token], k: usize) -> bool {
+    // Walk back over `&` / `mut` to the `in`.
+    let mut j = k;
+    while j >= 1 && (t[j - 1].is_punct('&') || t[j - 1].is_ident("mut")) {
+        j -= 1;
+    }
+    if !(j >= 1 && t[j - 1].is_ident("in")) {
+        return false;
+    }
+    // And an enclosing `for` within a short pattern window.
+    let lo = j.saturating_sub(12);
+    t[lo..j].iter().any(|tok| tok.is_ident("for"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn in_scope(src: &str) -> Vec<Finding> {
+        run(&Workspace::from_sources(&[("crates/core/src/x.rs", src)]))
+    }
+
+    #[test]
+    fn instant_and_systemtime_are_flagged() {
+        let f = in_scope("fn f() { let t = Instant::now(); }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Instant"));
+        let f = in_scope("use std::time::SystemTime;\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn thread_current_id_is_flagged_but_thread_spawn_is_not() {
+        let f = in_scope("fn f() { let id = thread::current().id(); }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(in_scope("fn f() { thread::spawn(|| {}); }\n").is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged_indexing_is_not() {
+        let src =
+            "fn f(m: HashMap<u32, u32>) -> Vec<u32> {\n    m.values().copied().collect()\n}\n";
+        let f = in_scope(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert!(in_scope("fn f(m: HashMap<u32, u32>) -> Option<&u32> { m.get(&3) }\n").is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hashset_is_flagged() {
+        let src = "fn f(s: HashSet<u32>) {\n    for x in &s { use_it(x); }\n}\n";
+        let f = in_scope(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn let_initializer_declares_unordered() {
+        let src = "fn f() {\n    let mut m = HashMap::new();\n    m.insert(1, 2);\n    for k in m.keys() { touch(k); }\n}\n";
+        let f = in_scope(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn vec_of_hashmaps_owner_is_ordered() {
+        let src = "fn f(shards: Vec<Mutex<HashMap<u32, u32>>>) {\n    for s in shards.iter() { touch(s); }\n}\n";
+        assert!(in_scope(src).is_empty(), "{:?}", in_scope(src));
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_ignored() {
+        let ws = Workspace::from_sources(&[(
+            "crates/serve/src/x.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        )]);
+        assert!(run(&ws).is_empty());
+    }
+}

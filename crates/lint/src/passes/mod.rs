@@ -1,0 +1,53 @@
+//! The pass framework: pass registry, the runner, and suppression
+//! application.
+
+pub mod determinism;
+pub mod fingerprint;
+pub mod lock_order;
+pub mod panic_policy;
+
+use crate::findings::{Finding, Severity};
+use crate::workspace::Workspace;
+
+/// Every pass name a pragma may suppress. `pragma` itself is reserved
+/// for framework findings about malformed pragmas and is deliberately
+/// absent: a suppression cannot excuse a broken suppression.
+pub const PASS_NAMES: [&str; 4] = [
+    "fingerprint-coverage",
+    "lock-order",
+    "determinism",
+    "panic-policy",
+];
+
+/// Runs every pass over the workspace, applies pragmas, and returns the
+/// surviving findings sorted by (file, line, pass).
+pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = ws.pragma_findings.clone();
+    findings.extend(fingerprint::run(ws));
+    findings.extend(lock_order::run(ws));
+    findings.extend(determinism::run(ws));
+    findings.extend(panic_policy::run(ws));
+    findings.retain(|f| !suppressed(ws, f));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.pass, &a.message).cmp(&(&b.file, b.line, b.pass, &b.message))
+    });
+    findings.dedup();
+    findings
+}
+
+/// Whether a pragma in the finding's file covers it. `pragma` findings
+/// are never suppressible.
+fn suppressed(ws: &Workspace, f: &Finding) -> bool {
+    if f.pass == "pragma" {
+        return false;
+    }
+    ws.files
+        .iter()
+        .find(|file| file.path == f.file)
+        .is_some_and(|file| file.suppressions.allows(f.pass, f.line))
+}
+
+/// Whether any finding has [`Severity::Error`] (drives the exit code).
+pub fn has_errors(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Error)
+}

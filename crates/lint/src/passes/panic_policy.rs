@@ -1,0 +1,108 @@
+//! panic-policy: no panics on the serve request path.
+//!
+//! The sweep service isolates job panics with `catch_unwind` and
+//! promises clients a typed error line instead of a dropped connection.
+//! That promise only holds if the request path itself cannot panic: an
+//! `unwrap` in protocol parsing or dispatch tears down the worker (or
+//! the whole accept loop) instead of producing `err code=…`. This pass
+//! bans `.unwrap()` / `.expect()` and the aborting macros in
+//! `crates/serve/src` outside test code; the one legitimate panic —
+//! fault injection, whose entire purpose is to exercise the
+//! `catch_unwind` isolation — carries a pragma.
+
+use crate::findings::Finding;
+use crate::workspace::{SourceFile, Workspace};
+
+const SCOPED: &str = "crates/serve/src";
+
+const BANNED_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !file.path_contains(SCOPED) {
+            continue;
+        }
+        check_file(file, &mut findings);
+    }
+    findings
+}
+
+fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let t = &file.tokens;
+    for (k, tok) in t.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if file.in_test_code(tok.line) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(` — exact-name match, so combinators
+        // like `unwrap_or_else` stay legal.
+        if (name == "unwrap" || name == "expect")
+            && k >= 1
+            && t[k - 1].is_punct('.')
+            && t.get(k + 1).is_some_and(|n| n.is_punct('('))
+        {
+            findings.push(Finding::error(
+                "panic-policy",
+                &file.path,
+                tok.line,
+                format!("`.{name}()` on the serve request path — return a typed error (`RequestError`/`err code=…`) instead of panicking"),
+            ));
+        }
+        // `panic!(` and friends.
+        if BANNED_MACROS.contains(&name)
+            && t.get(k + 1).is_some_and(|n| n.is_punct('!'))
+            && t.get(k + 2)
+                .is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'))
+        {
+            findings.push(Finding::error(
+                "panic-policy",
+                &file.path,
+                tok.line,
+                format!("`{name}!` on the serve request path — the service must answer with a typed error, not abort"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn in_scope(src: &str) -> Vec<Finding> {
+        run(&Workspace::from_sources(&[("crates/serve/src/x.rs", src)]))
+    }
+
+    #[test]
+    fn unwrap_expect_and_panic_are_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"present\");\n    if a + b > 9 { panic!(\"boom\") }\n    unreachable!()\n}\n";
+        let f = in_scope(src);
+        assert_eq!(f.len(), 4, "{f:?}");
+        assert_eq!(
+            f.iter().map(|x| x.line).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_else_is_legal() {
+        let src = "fn f(g: MutexGuard<u32>) {\n    let v = m.lock().unwrap_or_else(PoisonError::into_inner);\n    drop((g, v));\n}\n";
+        assert!(in_scope(src).is_empty(), "{:?}", in_scope(src));
+    }
+
+    #[test]
+    fn test_code_may_panic() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(\"fine\"); }\n}\n";
+        assert!(in_scope(src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_may_unwrap() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/x.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )]);
+        assert!(run(&ws).is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Suppression pragmas: `// lams-lint: allow(<pass>, reason = "...")`.
+//!
+//! A pragma suppresses findings of one pass at one location:
+//!
+//! * a **trailing** pragma (code before it on the same line) suppresses
+//!   findings of that pass on its own line;
+//! * a **standalone** pragma (alone on its line, doc comments aside)
+//!   suppresses findings on the *next* line that carries code — so a
+//!   pragma can sit above the field/statement it excuses, stacked with
+//!   other pragmas or doc comments in between.
+//!
+//! Every pragma must carry a non-empty `reason = "..."`: the reason is
+//! the reviewable artifact — a suppression without a justification is
+//! itself a lint error, as is a pragma naming a pass that does not
+//! exist (catches typos that would otherwise silently suppress
+//! nothing).
+
+use crate::findings::Finding;
+use crate::lexer::{Comment, Token};
+use crate::passes::PASS_NAMES;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// The pragma marker inside a comment.
+const MARKER: &str = "lams-lint:";
+
+/// Parsed suppressions for one file: pass name → suppressed lines.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    by_pass: HashMap<String, Vec<u32>>,
+}
+
+impl Suppressions {
+    /// Whether findings of `pass` are suppressed on `line`.
+    pub fn allows(&self, pass: &str, line: u32) -> bool {
+        self.by_pass
+            .get(pass)
+            .is_some_and(|lines| lines.contains(&line))
+    }
+
+    /// Total number of parsed pragmas (for reporting).
+    pub fn len(&self) -> usize {
+        self.by_pass.values().map(Vec::len).sum()
+    }
+
+    /// Whether no pragma parsed.
+    pub fn is_empty(&self) -> bool {
+        self.by_pass.is_empty()
+    }
+}
+
+/// Scans a file's comments for pragmas. Returns the suppressions plus
+/// any findings about the pragmas themselves (unknown pass, missing
+/// reason, malformed syntax) — framework findings that cannot be
+/// suppressed.
+pub fn collect(
+    file: &Path,
+    comments: &[Comment],
+    tokens: &[Token],
+) -> (Suppressions, Vec<Finding>) {
+    let mut sup = Suppressions::default();
+    let mut findings = Vec::new();
+    for c in comments {
+        // Doc comments start with `/` (the lexer strips only the `//`);
+        // a pragma lives in a plain comment.
+        let text = c.text.trim_start_matches('/').trim();
+        let Some(rest) = text.strip_prefix(MARKER) else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((pass, _reason)) => {
+                if !PASS_NAMES.contains(&pass.as_str()) {
+                    findings.push(Finding::error(
+                        "pragma",
+                        file,
+                        c.line,
+                        format!(
+                            "unknown pass '{pass}' in allow pragma (known passes: {})",
+                            PASS_NAMES.join(", ")
+                        ),
+                    ));
+                    continue;
+                }
+                let line = if c.trailing {
+                    c.line
+                } else {
+                    next_code_line(tokens, c.line)
+                };
+                sup.by_pass.entry(pass).or_default().push(line);
+            }
+            Err(msg) => findings.push(Finding::error("pragma", file, c.line, msg)),
+        }
+    }
+    (sup, findings)
+}
+
+/// The first line after `after` that carries a code token; falls back
+/// to `after + 1` when the pragma is the last thing in the file.
+fn next_code_line(tokens: &[Token], after: u32) -> u32 {
+    tokens
+        .iter()
+        .map(|t| t.line)
+        .find(|&l| l > after)
+        .unwrap_or(after + 1)
+}
+
+/// Parses `allow(<pass>, reason = "...")`. Returns (pass, reason).
+fn parse_allow(s: &str) -> Result<(String, String), String> {
+    let Some(body) = s.strip_prefix("allow") else {
+        return Err(format!(
+            "malformed pragma: expected `allow(<pass>, reason = \"...\")`, got `{s}`"
+        ));
+    };
+    let body = body.trim();
+    let Some(body) = body.strip_prefix('(').and_then(|b| b.strip_suffix(')')) else {
+        return Err("malformed pragma: missing parentheses around allow(...)".into());
+    };
+    let Some((pass, rest)) = body.split_once(',') else {
+        return Err("pragma must carry a reason: allow(<pass>, reason = \"...\")".into());
+    };
+    let pass = pass.trim().to_string();
+    let rest = rest.trim();
+    let Some(reason_expr) = rest.strip_prefix("reason") else {
+        return Err(format!(
+            "expected `reason = \"...\"` after the pass name, got `{rest}`"
+        ));
+    };
+    let reason_expr = reason_expr.trim_start();
+    let Some(quoted) = reason_expr.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".into());
+    };
+    let quoted = quoted.trim();
+    let reason = quoted
+        .strip_prefix('"')
+        .and_then(|q| q.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    Ok((pass, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> (Suppressions, Vec<Finding>) {
+        let l = lex(src);
+        collect(&PathBuf::from("t.rs"), &l.comments, &l.tokens)
+    }
+
+    #[test]
+    fn standalone_pragma_suppresses_next_code_line() {
+        let src = "\n// lams-lint: allow(determinism, reason = \"test clock\")\nlet t = now();\n";
+        let (sup, findings) = run(src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(sup.allows("determinism", 3));
+        assert!(!sup.allows("determinism", 2));
+        assert!(!sup.allows("panic-policy", 3));
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_its_own_line() {
+        let src = "let t = now(); // lams-lint: allow(determinism, reason = \"bench only\")\n";
+        let (sup, findings) = run(src);
+        assert!(findings.is_empty());
+        assert!(sup.allows("determinism", 1));
+    }
+
+    #[test]
+    fn stacked_pragmas_share_a_target_line() {
+        let src = "// lams-lint: allow(determinism, reason = \"a\")\n// lams-lint: allow(panic-policy, reason = \"b\")\nx.unwrap();\n";
+        let (sup, findings) = run(src);
+        assert!(findings.is_empty());
+        assert!(sup.allows("determinism", 3));
+        assert!(sup.allows("panic-policy", 3));
+    }
+
+    #[test]
+    fn unknown_pass_is_an_error() {
+        let (sup, findings) =
+            run("// lams-lint: allow(no-such-pass, reason = \"x\")\nlet a = 1;\n");
+        assert!(sup.is_empty());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("unknown pass 'no-such-pass'"));
+    }
+
+    #[test]
+    fn missing_or_empty_reason_is_an_error() {
+        let (_, f1) = run("// lams-lint: allow(determinism)\n");
+        assert_eq!(f1.len(), 1, "{f1:?}");
+        assert!(f1[0].message.contains("reason"));
+        let (_, f2) = run("// lams-lint: allow(determinism, reason = \"  \")\n");
+        assert_eq!(f2.len(), 1);
+        let (_, f3) = run("// lams-lint: allow(determinism, reason = unquoted)\n");
+        assert_eq!(f3.len(), 1);
+    }
+
+    #[test]
+    fn non_pragma_comments_are_ignored() {
+        let (sup, findings) = run("// ordinary comment mentioning lams-lint elsewhere\n");
+        assert!(sup.is_empty());
+        assert!(findings.is_empty());
+    }
+}

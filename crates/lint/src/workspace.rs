@@ -1,0 +1,264 @@
+//! Workspace loading: file discovery, lexing, test-module ranges and
+//! pragma collection, packaged for the passes.
+
+use std::path::{Path, PathBuf};
+
+use crate::findings::Finding;
+use crate::lexer::{lex, Comment, Token};
+use crate::pragma::{self, Suppressions};
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as scanned (workspace-relative when loaded via
+    /// [`Workspace::load`] with a relative root).
+    pub path: PathBuf,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    pub suppressions: Suppressions,
+    /// Line ranges (inclusive) of `#[cfg(test)]`-gated modules and
+    /// `#[test]` functions — code the passes skip: tests may unwrap,
+    /// lock ad hoc and read clocks without weakening the invariants
+    /// the lint protects in shipping code.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `src` as `path` and precomputes pragma + test ranges.
+    /// Pragma findings (malformed/unknown) come back alongside.
+    pub fn parse(path: PathBuf, src: &str) -> (SourceFile, Vec<Finding>) {
+        let lexed = lex(src);
+        let (suppressions, findings) = pragma::collect(&path, &lexed.comments, &lexed.tokens);
+        let test_ranges = test_ranges(&lexed.tokens);
+        (
+            SourceFile {
+                path,
+                tokens: lexed.tokens,
+                comments: lexed.comments,
+                suppressions,
+                test_ranges,
+            },
+            findings,
+        )
+    }
+
+    /// Whether `line` is inside test-gated code.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Whether the file's path contains `fragment` (with `/` separators
+    /// normalized) — how passes scope themselves to subtrees.
+    pub fn path_contains(&self, fragment: &str) -> bool {
+        self.path
+            .to_string_lossy()
+            .replace('\\', "/")
+            .contains(fragment)
+    }
+}
+
+/// All scanned files plus accumulated framework findings.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub pragma_findings: Vec<Finding>,
+}
+
+impl Workspace {
+    /// Loads every `.rs` file under `roots` (files or directories,
+    /// walked recursively in sorted order for deterministic output).
+    ///
+    /// Skips `target/`, `vendor/` (offline stand-ins are not policed)
+    /// and the lint's own violation fixtures — unless a root points
+    /// *into* the fixtures, which is how the fixture smoke runs them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error; a missing root is an error (a
+    /// silently-empty lint run would report a green workspace).
+    pub fn load(roots: &[PathBuf]) -> std::io::Result<Workspace> {
+        let mut paths = Vec::new();
+        for root in roots {
+            let root_is_fixture = root.to_string_lossy().contains("fixtures");
+            walk(root, root_is_fixture, &mut paths)?;
+        }
+        paths.sort();
+        paths.dedup();
+        let mut ws = Workspace::default();
+        for path in paths {
+            let src = std::fs::read_to_string(&path)?;
+            let (file, findings) = SourceFile::parse(path, &src);
+            ws.pragma_findings.extend(findings);
+            ws.files.push(file);
+        }
+        Ok(ws)
+    }
+
+    /// Builds a workspace from in-memory sources (for tests).
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (path, src) in sources {
+            let (file, findings) = SourceFile::parse(PathBuf::from(path), src);
+            ws.pragma_findings.extend(findings);
+            ws.files.push(file);
+        }
+        ws
+    }
+}
+
+fn walk(path: &Path, allow_fixtures: bool, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let meta = std::fs::metadata(path)?;
+    if meta.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name == "target" || name == "vendor" {
+        return Ok(());
+    }
+    if !allow_fixtures
+        && path
+            .to_string_lossy()
+            .replace('\\', "/")
+            .contains("tests/fixtures")
+    {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<std::io::Result<_>>()?;
+    entries.sort();
+    for entry in entries {
+        walk(&entry, allow_fixtures, out)?;
+    }
+    Ok(())
+}
+
+/// Finds `#[cfg(test)] mod … { … }` and `#[test] fn … { … }` spans.
+///
+/// Recognition is token-shaped: a `#` `[` … `]` attribute whose
+/// identifier stream contains `cfg` + `test` (or just `test`), followed
+/// (possibly through further attributes and doc comments) by `mod` or
+/// `fn`, brackets the following brace-balanced block.
+fn test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // Parse one attribute; remember whether it mentions test.
+        let Some((attr_end, mentions_test)) = scan_attribute(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !mentions_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes to the introducing keyword.
+        let mut j = attr_end;
+        while j < tokens.len() && tokens[j].is_punct('#') {
+            match scan_attribute(tokens, j) {
+                Some((end, _)) => j = end,
+                None => break,
+            }
+        }
+        // Find the block opened by the next `mod`/`fn` item.
+        let is_item = tokens[j..]
+            .iter()
+            .take(3)
+            .any(|t| t.is_ident("mod") || t.is_ident("fn") || t.is_ident("pub"));
+        if !is_item {
+            i = attr_end;
+            continue;
+        }
+        if let Some((open, close)) = next_brace_block(tokens, j) {
+            ranges.push((tokens[i].line, tokens[close].line));
+            i = close + 1;
+            let _ = open;
+        } else {
+            i = attr_end;
+        }
+    }
+    ranges
+}
+
+/// Scans the attribute starting at the `#` at `at`; returns (index one
+/// past the closing `]`, whether its identifiers include `test`).
+fn scan_attribute(tokens: &[Token], at: usize) -> Option<(usize, bool)> {
+    if !tokens.get(at)?.is_punct('#') || !tokens.get(at + 1)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut mentions = false;
+    let mut i = at + 1;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((i + 1, mentions));
+            }
+        } else if t.is_ident("test") {
+            mentions = true;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The next `{ … }` block at or after `from`: returns (open, close)
+/// token indices with balanced nesting.
+pub(crate) fn next_brace_block(tokens: &[Token], from: usize) -> Option<(usize, usize)> {
+    let open = (from..tokens.len()).find(|&k| tokens[k].is_punct('{'))?;
+    let mut depth = 0usize;
+    for (k, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open, k));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_ranges_cover_the_block() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let (file, _) = SourceFile::parse(PathBuf::from("t.rs"), src);
+        assert!(!file.in_test_code(1));
+        assert!(file.in_test_code(3));
+        assert!(file.in_test_code(5));
+        assert!(!file.in_test_code(7));
+    }
+
+    #[test]
+    fn bare_test_fn_is_covered() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\nfn real() {}\n";
+        let (file, _) = SourceFile::parse(PathBuf::from("t.rs"), src);
+        assert!(file.in_test_code(3));
+        assert!(!file.in_test_code(5));
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_hide_code() {
+        let src = "#[derive(Debug)]\nstruct S { x: u32 }\n";
+        let (file, _) = SourceFile::parse(PathBuf::from("t.rs"), src);
+        assert!(!file.in_test_code(2));
+    }
+}

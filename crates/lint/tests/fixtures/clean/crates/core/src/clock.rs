@@ -1,0 +1,11 @@
+//! Clean fixture: a justified host-clock read, suppressed in place,
+//! and an ordered-container iteration that needs no excuse.
+
+pub fn timed() -> u64 {
+    // lams-lint: allow(determinism, reason = "fixture: demonstrates a reasoned suppression")
+    stamp(Instant::now())
+}
+
+pub fn sum_values(m: &BTreeMap<u32, u64>) -> u64 {
+    m.values().copied().sum()
+}

@@ -1,0 +1,11 @@
+//! Clean fixture: eviction's allowed tracker→stripe nesting.
+
+pub struct Cache;
+
+impl Cache {
+    fn evict(&self) {
+        let tracker = self.tracker.lock().unwrap();
+        self.shards[0].lock().unwrap().clear();
+        drop(tracker);
+    }
+}

@@ -1,0 +1,10 @@
+//! Clean fixture: every `BusConfig` field reaches the fingerprint.
+
+pub struct BusConfig {
+    pub occupancy_cycles: u64,
+    pub burst_len: u32,
+}
+
+pub fn machine_fingerprint(b: &BusConfig) -> u64 {
+    b.occupancy_cycles.wrapping_mul(17) ^ u64::from(b.burst_len)
+}

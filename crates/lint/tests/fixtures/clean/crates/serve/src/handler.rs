@@ -1,0 +1,8 @@
+//! Clean fixture: typed errors instead of panics.
+
+pub fn dispatch(req: Option<u32>) -> Result<u32, String> {
+    let Some(r) = req else {
+        return Err("missing field".to_string());
+    };
+    Ok(r)
+}

@@ -1,0 +1,16 @@
+//! Violation fixture: host clocks, thread identity, and unordered
+//! iteration in result-producing code.
+
+pub fn timestamp() -> u64 {
+    let t = Instant::now();
+    nanos(t)
+}
+
+pub fn which_worker() -> u64 {
+    let id = thread::current().id();
+    hash_of(id)
+}
+
+pub fn sum_values(m: &HashMap<u32, u64>) -> u64 {
+    m.values().copied().sum()
+}

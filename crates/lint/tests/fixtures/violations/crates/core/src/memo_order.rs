@@ -1,0 +1,20 @@
+//! Violation fixture: stripe→tracker nesting plus an unregistered
+//! mutex receiver.
+
+pub struct Cache;
+
+impl Cache {
+    fn note(&self) {
+        self.tracker.lock().unwrap().touch(1);
+    }
+
+    fn lookup(&self) {
+        let shard = self.shards[0].lock().unwrap();
+        self.note();
+        drop(shard);
+    }
+
+    fn rogue(&self) {
+        self.mystery.lock().unwrap();
+    }
+}

@@ -1,0 +1,7 @@
+//! Violation fixture: pragma misuse the framework must reject.
+
+// lams-lint: allow(no-such-pass, reason = "typo in the pass name")
+pub fn a() {}
+
+// lams-lint: allow(determinism)
+pub fn b() {}

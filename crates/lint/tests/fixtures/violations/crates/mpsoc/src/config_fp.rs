@@ -1,0 +1,10 @@
+//! Violation fixture: `burst_len` is never fed into the fingerprint.
+
+pub struct BusConfig {
+    pub occupancy_cycles: u64,
+    pub burst_len: u32,
+}
+
+pub fn machine_fingerprint(b: &BusConfig) -> u64 {
+    b.occupancy_cycles.wrapping_mul(17)
+}

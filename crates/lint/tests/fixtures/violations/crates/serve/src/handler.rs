@@ -1,0 +1,10 @@
+//! Violation fixture: panics on the serve request path.
+
+pub fn dispatch(req: Option<u32>) -> u32 {
+    let r = req.unwrap();
+    let s = req.expect("present");
+    if r + s > 100 {
+        panic!("too big");
+    }
+    unreachable!()
+}

@@ -399,7 +399,11 @@ impl Request {
             return Ok(None);
         }
         let mut tokens = line.split_ascii_whitespace();
-        let verb = tokens.next().expect("non-empty line has a first token");
+        // The line is non-empty after trimming, so a first token exists;
+        // treat the impossible case as a blank line rather than panic.
+        let Some(verb) = tokens.next() else {
+            return Ok(None);
+        };
         let rest: Vec<&str> = tokens.collect();
         let mut fields = Fields::parse(&rest)?;
         let id = fields.id.clone();

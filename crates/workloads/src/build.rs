@@ -72,6 +72,7 @@ pub struct Workload {
     fp: std::sync::OnceLock<lams_mpsoc::Fingerprint>,
     /// Lazily computed per-process content fingerprints (index =
     /// process id; see [`Workload::process_fingerprint`]).
+    // lams-lint: allow(fingerprint-coverage, reason = "memo cache of derived fingerprints, not content: its value is a pure function of the fields the fingerprint already covers")
     proc_fps: std::sync::OnceLock<Vec<lams_mpsoc::Fingerprint>>,
 }
 
