@@ -1,6 +1,7 @@
 //! Minimal command-line parsing for the harness binaries (no external
 //! dependencies needed for `--scale`-style flags).
 
+use lams_core::ArrivalConfig;
 use lams_mpsoc::BusConfig;
 use lams_workloads::Scale;
 
@@ -71,6 +72,25 @@ pub fn bus_from_str(v: &str) -> Option<BusConfig> {
     Some(bus)
 }
 
+/// Extracts the optional `--arrivals` open-system axis:
+///
+/// * absent → `None` (the paper's batch semantics: every process
+///   present at cycle 0),
+/// * `--arrivals SHAPE:LOAD:SEED[:QCAP]` with `SHAPE` one of
+///   `poisson|burst|diurnal` → processes are admitted by a seeded
+///   deterministic arrival stream at offered load `LOAD` (e.g. `0.8`),
+///   optionally shedding typed once the ready queue exceeds `QCAP`.
+///
+/// Exits with an error on malformed values — a typo must not silently
+/// run the closed-system batch.
+pub fn parse_arrivals(args: &[String]) -> Option<ArrivalConfig> {
+    let v = flag_value(args, "--arrivals")?;
+    Some(ArrivalConfig::parse(v).unwrap_or_else(|e| {
+        eprintln!("error: bad --arrivals '{v}': {e}");
+        std::process::exit(2);
+    }))
+}
+
 /// Extracts `--threads N` (default 1, clamped to at least 1) — the
 /// worker count for [`lams_core::SweepRunner`].
 pub fn parse_threads(args: &[String]) -> usize {
@@ -131,6 +151,27 @@ mod tests {
         assert_eq!(parse_usize_flag(&argv(&["--cores", "4"]), "--cores", 8), 4);
         assert_eq!(parse_usize_flag(&argv(&[]), "--cores", 8), 8);
         assert_eq!(parse_usize_flag(&argv(&["--cores", "x"]), "--cores", 8), 8);
+    }
+
+    #[test]
+    fn arrivals_flag() {
+        assert_eq!(parse_arrivals(&argv(&[])), None);
+        assert_eq!(
+            parse_arrivals(&argv(&["--arrivals", "poisson:0.8:42"])),
+            Some(ArrivalConfig::poisson(800, 42))
+        );
+        assert_eq!(
+            parse_arrivals(&argv(&["--arrivals", "burst:1.5:7:128"])),
+            Some(
+                ArrivalConfig::poisson(1500, 7)
+                    .with_shape(lams_core::ArrivalShape::Burst)
+                    .with_queue_capacity(128)
+            )
+        );
+        // Malformed specs are rejected (parse_arrivals exits; the
+        // fallible core is testable directly).
+        assert!(ArrivalConfig::parse("poisson:0.8").is_err());
+        assert!(ArrivalConfig::parse("gauss:0.8:1").is_err());
     }
 
     #[test]

@@ -29,8 +29,15 @@
 //! `speedup_vs_uncached` and `speedup_vs_pr4`. The `bench_gate` bin
 //! compares fresh summaries against the checked-in baselines in CI.
 //!
+//! Since PR 10 it also writes `BENCH_arrivals.json`: a million-process
+//! Poisson arrival plan generated over Huge-scale service lengths
+//! (bit-stable span/checksum plus generation throughput), an
+//! open-system engine run on a many-process synthetic pipeline at 0.9
+//! offered load (steady-state latency percentiles, run twice to pin
+//! determinism), and a typed-shed probe against a bounded queue.
+//!
 //! Usage:
-//! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json] [trace.json] [memo.json] [bus.json] [service.json]`
+//! `cargo run --release -p lams-bench --bin bench_summary [out.json] [sweep.json] [trace.json] [memo.json] [bus.json] [service.json] [arrivals.json]`
 //!
 //! The makespan checksum must stay constant across perf PRs (bit-identical
 //! simulation results); the throughput numbers are expected to move.
@@ -39,12 +46,13 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use lams_core::{
-    execute, ArtifactCache, EngineConfig, Experiment, LocalityPolicy, MemoStats, PolicyKind,
-    ScenarioMatrix, SharingMatrix, SweepRunner, TraceMode,
+    execute, ArrivalConfig, ArrivalPlan, ArtifactCache, EngineConfig, Error as CoreError,
+    Experiment, LocalityPolicy, MemoStats, PolicyKind, ScenarioMatrix, SharingMatrix, SweepRunner,
+    TraceMode,
 };
 use lams_layout::Layout;
 use lams_mpsoc::{BusConfig, Cache, CacheConfig, MachineConfig};
-use lams_workloads::{suite, Scale, Workload};
+use lams_workloads::{suite, synthetic_app, Scale, SyntheticConfig, Workload};
 
 /// Median ns/iter of `f` over `samples` timed samples of `iters` calls.
 fn time_ns<F: FnMut()>(mut f: F, iters: u64, samples: usize) -> f64 {
@@ -623,6 +631,109 @@ fn service_bench(rounds: usize) -> ServiceBench {
     }
 }
 
+struct ArrivalsBench {
+    plan_processes: usize,
+    plan_span_cycles: u64,
+    plan_checksum: u64,
+    gen_ms: f64,
+    gen_mprocs_per_s: f64,
+    open_processes: usize,
+    makespan_cycles: u64,
+    arrival_span_cycles: u64,
+    queue_depth_peak: usize,
+    sojourn_p50: u64,
+    sojourn_p99: u64,
+    queueing_p99: u64,
+    utilization_mean: f64,
+    wall_ms: f64,
+    sim_procs_per_s: f64,
+    deterministic: bool,
+    saturation_typed: bool,
+}
+
+/// The open-system bench behind `BENCH_arrivals.json`, in three parts.
+///
+/// * **plan** — a million-process Poisson stream generated over the
+///   Huge-scale Shape app's analytic per-process service lengths
+///   (cycled to a million entries; the generator never touches
+///   traces). The span and checksum are pure functions of the seed —
+///   exact-gated — while the generation throughput tracks perf.
+/// * **open** — a real open-system engine run: a 192-process synthetic
+///   pipeline admitted by a 0.9-offered-load Poisson stream under RRS,
+///   run twice to pin that makespan, latency percentiles and queue
+///   peak are bit-identical (everything is simulated cycles, so the
+///   makespan is exact-gated across machines too).
+/// * **saturation** — the same pipeline at 4x offered load against a
+///   2-deep admission queue must shed with the typed
+///   [`QueueSaturated`](CoreError::QueueSaturated) error, never a
+///   panic or a silent drop.
+fn arrivals_bench() -> ArrivalsBench {
+    const STREAM: usize = 1_000_000;
+    let huge = Workload::single(suite::shape(Scale::Huge)).expect("valid app");
+    let huge_lens: Vec<u64> = huge.process_ids().map(|p| huge.trace_len(p)).collect();
+    let service: Vec<u64> = (0..STREAM)
+        .map(|i| huge_lens[i % huge_lens.len()])
+        .collect();
+    let config = ArrivalConfig::poisson(900, 42);
+    let cores = MachineConfig::paper_default().num_cores;
+    let mut plan = ArrivalPlan::generate(config, &service, cores);
+    let gen_ns = time_ns(
+        || {
+            plan = ArrivalPlan::generate(config, &service, cores);
+            black_box(plan.len());
+        },
+        1,
+        5,
+    );
+
+    let app = synthetic_app(SyntheticConfig {
+        seed: 0xA221,
+        stages: 6,
+        procs_per_stage: 32,
+        dim: 96,
+        max_halo: 2,
+    });
+    let machine = MachineConfig::paper_default();
+    let exp = Experiment::isolated(&app, machine).with_arrivals(ArrivalConfig::poisson(900, 42));
+    let start = Instant::now();
+    let first = exp.run(PolicyKind::RoundRobin).expect("open run completes");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let second = exp.run(PolicyKind::RoundRobin).expect("open run completes");
+    let m = first.arrivals.as_ref().expect("open run reports metrics");
+    let deterministic = first.makespan_cycles == second.makespan_cycles
+        && second.arrivals.as_ref() == Some(m)
+        && ArrivalPlan::generate(config, &service, cores).checksum() == plan.checksum();
+    let utilization_mean =
+        m.core_utilization.iter().sum::<f64>() / m.core_utilization.len().max(1) as f64;
+
+    let sat = Experiment::isolated(&app, machine)
+        .with_arrivals(ArrivalConfig::poisson(4000, 7).with_queue_capacity(2));
+    let saturation_typed = matches!(
+        sat.run(PolicyKind::RoundRobin),
+        Err(CoreError::QueueSaturated { .. })
+    );
+
+    ArrivalsBench {
+        plan_processes: plan.len(),
+        plan_span_cycles: plan.span(),
+        plan_checksum: plan.checksum(),
+        gen_ms: gen_ns / 1e6,
+        gen_mprocs_per_s: STREAM as f64 / gen_ns * 1e3,
+        open_processes: m.completed,
+        makespan_cycles: first.makespan_cycles,
+        arrival_span_cycles: m.arrival_span_cycles,
+        queue_depth_peak: m.queue_depth_peak,
+        sojourn_p50: m.sojourn.p50,
+        sojourn_p99: m.sojourn.p99,
+        queueing_p99: m.queueing.p99,
+        utilization_mean,
+        wall_ms,
+        sim_procs_per_s: m.completed as f64 / wall_ms * 1e3,
+        deterministic,
+        saturation_typed,
+    }
+}
+
 /// FNV-1a over the makespan stream — one number to eyeball across PRs.
 fn checksum(rows: &[(String, &'static str, u64)]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -654,6 +765,9 @@ fn main() {
     let service_out = std::env::args()
         .nth(6)
         .unwrap_or_else(|| "BENCH_service.json".to_string());
+    let arrivals_out = std::env::args()
+        .nth(7)
+        .unwrap_or_else(|| "BENCH_arrivals.json".to_string());
 
     eprintln!("bench_summary: cache micro-benches...");
     let plain = cache_melems_per_s(false);
@@ -994,4 +1108,86 @@ fn main() {
     vj.push_str("}\n");
     std::fs::write(&service_out, vj).expect("write service summary");
     eprintln!("bench_summary: wrote {service_out}");
+
+    eprintln!("bench_summary: open-system arrivals bench (1M-process plan, synthetic pipeline)...");
+    let ab = arrivals_bench();
+    assert!(ab.deterministic, "open-system runs diverged across repeats");
+    assert!(ab.saturation_typed, "overload did not shed typed");
+    eprintln!(
+        "  plan             {} processes in {:.3} ms ({:.2} Mprocs/s, span {} cycles, checksum 0x{:016x})",
+        ab.plan_processes, ab.gen_ms, ab.gen_mprocs_per_s, ab.plan_span_cycles, ab.plan_checksum
+    );
+    eprintln!(
+        "  open run         {} processes, makespan {} cycles in {:.3} ms ({:.1} procs/s, queue peak {})",
+        ab.open_processes, ab.makespan_cycles, ab.wall_ms, ab.sim_procs_per_s, ab.queue_depth_peak
+    );
+    eprintln!(
+        "  latency          sojourn p50 {} / p99 {} cycles, queueing p99 {} cycles, utilization {:.3}",
+        ab.sojourn_p50, ab.sojourn_p99, ab.queueing_p99, ab.utilization_mean
+    );
+
+    let mut aj = String::new();
+    aj.push_str("{\n");
+    aj.push_str("  \"schema\": 1,\n");
+    aj.push_str("  \"plan\": {\n");
+    aj.push_str("    \"style\": \"poisson-huge-shape\",\n");
+    aj.push_str(&format!("    \"processes\": {},\n", ab.plan_processes));
+    aj.push_str("    \"load_milli\": 900, \"seed\": 42,\n");
+    aj.push_str(&format!("    \"span_cycles\": {},\n", ab.plan_span_cycles));
+    aj.push_str(&format!(
+        "    \"checksum\": \"0x{:016x}\",\n",
+        ab.plan_checksum
+    ));
+    aj.push_str(&format!("    \"gen_ms\": {:.4},\n", ab.gen_ms));
+    aj.push_str(&format!(
+        "    \"gen_mprocs_per_s\": {:.3}\n",
+        ab.gen_mprocs_per_s
+    ));
+    aj.push_str("  },\n");
+    aj.push_str("  \"open\": {\n");
+    aj.push_str("    \"style\": \"synthetic-pipeline\", \"policy\": \"RRS\",\n");
+    aj.push_str("    \"load_milli\": 900, \"arrival_seed\": 42,\n");
+    aj.push_str(&format!("    \"processes\": {},\n", ab.open_processes));
+    aj.push_str(&format!(
+        "    \"makespan_cycles\": {},\n",
+        ab.makespan_cycles
+    ));
+    aj.push_str(&format!(
+        "    \"arrival_span_cycles\": {},\n",
+        ab.arrival_span_cycles
+    ));
+    aj.push_str(&format!(
+        "    \"queue_depth_peak\": {},\n",
+        ab.queue_depth_peak
+    ));
+    aj.push_str(&format!(
+        "    \"sojourn_p50_cycles\": {},\n",
+        ab.sojourn_p50
+    ));
+    aj.push_str(&format!(
+        "    \"sojourn_p99_cycles\": {},\n",
+        ab.sojourn_p99
+    ));
+    aj.push_str(&format!(
+        "    \"queueing_p99_cycles\": {},\n",
+        ab.queueing_p99
+    ));
+    aj.push_str(&format!(
+        "    \"utilization_mean\": {:.4},\n",
+        ab.utilization_mean
+    ));
+    aj.push_str(&format!("    \"wall_ms\": {:.4},\n", ab.wall_ms));
+    aj.push_str(&format!(
+        "    \"sim_procs_per_s\": {:.2},\n",
+        ab.sim_procs_per_s
+    ));
+    aj.push_str(&format!("    \"deterministic\": {}\n", ab.deterministic));
+    aj.push_str("  },\n");
+    aj.push_str(&format!(
+        "  \"saturation_typed\": {}\n",
+        ab.saturation_typed
+    ));
+    aj.push_str("}\n");
+    std::fs::write(&arrivals_out, aj).expect("write arrivals summary");
+    eprintln!("bench_summary: wrote {arrivals_out}");
 }

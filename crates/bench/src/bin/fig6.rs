@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run --release -p lams-bench --bin fig6 -- \
 //!     [--scale tiny|small|paper|large|huge] [--threads N] \
-//!     [--bus fcfs:OCC|windowed:OCC:WINDOW]
+//!     [--bus fcfs:OCC|windowed:OCC:WINDOW] \
+//!     [--arrivals poisson|burst|diurnal:LOAD:SEED[:QCAP]]
 //! ```
 //!
 //! The figure is declared as a [`ScenarioMatrix`] (one group per
@@ -16,7 +17,7 @@
 //! Prints a CSV block (one row per application x policy) followed by an
 //! ASCII bar chart shaped like the paper's figure.
 
-use lams_bench::{bar_chart, csv_table, parse_bus, parse_scale_or, parse_threads};
+use lams_bench::{bar_chart, csv_table, parse_arrivals, parse_bus, parse_scale_or, parse_threads};
 use lams_core::{ArtifactCache, Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
 use lams_mpsoc::MachineConfig;
 use lams_workloads::{suite, Scale};
@@ -29,21 +30,27 @@ fn main() {
     if let Some(bus) = parse_bus(&args) {
         machine = machine.with_bus(bus);
     }
+    let arrivals = parse_arrivals(&args);
 
     println!(
         "Figure 6 reproduction — isolated execution, scale {scale}, {machine}, {} thread(s)",
         runner.threads()
     );
+    // Open-system axis: the marker line only appears when the flag is
+    // given, so batch output stays byte-identical.
+    if let Some(a) = arrivals {
+        println!("arrivals {a}");
+    }
 
     let apps = suite::all(scale);
     let labels: Vec<&str> = suite::NAMES.to_vec();
     let mut matrix = ScenarioMatrix::new();
     for app in &apps {
-        matrix.push_all(
-            &app.name,
-            &Experiment::isolated(app, machine),
-            PolicyKind::ALL,
-        );
+        let mut exp = Experiment::isolated(app, machine);
+        if let Some(a) = arrivals {
+            exp = exp.with_arrivals(a);
+        }
+        matrix.push_all(&app.name, &exp, PolicyKind::ALL);
     }
     // One artifact memo across the whole matrix: jobs sharing a
     // workload reuse compiled traces, sharing matrices and the LS

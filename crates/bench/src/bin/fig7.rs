@@ -7,7 +7,8 @@
 //! ```text
 //! cargo run --release -p lams-bench --bin fig7 -- \
 //!     [--scale tiny|small|paper|large|huge] [--threads N] \
-//!     [--bus fcfs:OCC|windowed:OCC:WINDOW]
+//!     [--bus fcfs:OCC|windowed:OCC:WINDOW] \
+//!     [--arrivals poisson|burst|diurnal:LOAD:SEED[:QCAP]]
 //! ```
 //!
 //! The six mixes × four policies are declared as a [`ScenarioMatrix`]
@@ -15,7 +16,7 @@
 //! N workers with bit-identical output. Defaults to the `large` sweep
 //! scale.
 
-use lams_bench::{bar_chart, csv_table, parse_bus, parse_scale_or, parse_threads};
+use lams_bench::{bar_chart, csv_table, parse_arrivals, parse_bus, parse_scale_or, parse_threads};
 use lams_core::{Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
 use lams_mpsoc::MachineConfig;
 use lams_workloads::{suite, Scale};
@@ -28,21 +29,27 @@ fn main() {
     if let Some(bus) = parse_bus(&args) {
         machine = machine.with_bus(bus);
     }
+    let arrivals = parse_arrivals(&args);
 
     println!(
         "Figure 7 reproduction — concurrent execution, scale {scale}, {machine}, {} thread(s)",
         runner.threads()
     );
+    // Open-system axis: the marker line only appears when the flag is
+    // given, so batch output stays byte-identical.
+    if let Some(a) = arrivals {
+        println!("arrivals {a}");
+    }
 
     let labels = ["|T|=1", "|T|=2", "|T|=3", "|T|=4", "|T|=5", "|T|=6"];
     let mut matrix = ScenarioMatrix::new();
     for t in 1..=6usize {
         let mix = suite::mix(t, scale);
-        matrix.push_all(
-            labels[t - 1],
-            &Experiment::concurrent(&mix, machine),
-            PolicyKind::ALL,
-        );
+        let mut exp = Experiment::concurrent(&mix, machine);
+        if let Some(a) = arrivals {
+            exp = exp.with_arrivals(a);
+        }
+        matrix.push_all(labels[t - 1], &exp, PolicyKind::ALL);
     }
     let reports = matrix.run(&runner).expect("simulation succeeds");
     // One report per |T| point: a duplicated group label would merge

@@ -7,7 +7,8 @@
 //! ```text
 //! cargo run --release -p lams-bench --bin sweep -- \
 //!     [--scale tiny|small|paper|large|huge] [--tasks 4] [--threads N] \
-//!     [--bus fcfs:OCC|windowed:OCC:WINDOW]
+//!     [--bus fcfs:OCC|windowed:OCC:WINDOW] \
+//!     [--arrivals poisson|burst|diurnal:LOAD:SEED[:QCAP]]
 //! ```
 //!
 //! With `--bus`, every sweep point runs behind the given shared-bus
@@ -19,7 +20,9 @@
 //! `--threads N` fans the jobs across N workers with bit-identical
 //! output.
 
-use lams_bench::{csv_table, parse_bus, parse_scale, parse_threads, parse_usize_flag};
+use lams_bench::{
+    csv_table, parse_arrivals, parse_bus, parse_scale, parse_threads, parse_usize_flag,
+};
 use lams_core::{Experiment, PolicyKind, ScenarioMatrix, SweepRunner};
 use lams_mpsoc::{BusConfig, CacheConfig, MachineConfig};
 use lams_workloads::suite;
@@ -35,11 +38,17 @@ fn main() {
     if let Some(bus) = bus {
         base = base.with_bus(bus);
     }
+    let arrivals = parse_arrivals(&args);
 
     println!(
         "Sensitivity sweep — |T|={tasks}, scale {scale} (baseline {base}), {} thread(s)",
         runner.threads()
     );
+    // Open-system axis: the marker line only appears when the flag is
+    // given, so batch output stays byte-identical.
+    if let Some(a) = arrivals {
+        println!("arrivals {a}");
+    }
 
     // The sweep grid, declared as data: (group label, machine, quantum).
     let mut points: Vec<(String, MachineConfig, u64)> = Vec::new();
@@ -86,7 +95,10 @@ fn main() {
 
     let mut matrix = ScenarioMatrix::new();
     for (label, machine, quantum) in &points {
-        let exp = Experiment::concurrent(&mix, *machine).with_quantum(*quantum);
+        let mut exp = Experiment::concurrent(&mix, *machine).with_quantum(*quantum);
+        if let Some(a) = arrivals {
+            exp = exp.with_arrivals(a);
+        }
         matrix.push_all(label, &exp, PolicyKind::ALL);
     }
     let reports = matrix.run(&runner).expect("simulation succeeds");

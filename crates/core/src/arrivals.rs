@@ -1,0 +1,625 @@
+//! Open-system arrival processes: deterministic seeded generators that
+//! turn the batch engine into a queueing system.
+//!
+//! The paper (and the fig6/fig7 harness) schedules a *fixed batch* of
+//! processes, all ready at cycle zero. Real MPSoC and datacenter
+//! schedulers face an *open* system: work arrives over time at a load
+//! factor, queues, and departs. This module supplies the arrival side of
+//! that model:
+//!
+//! * [`ArrivalConfig`] — the knob set (shape, offered load, seed, ready
+//!   queue bound), `Copy` and fully fingerprinted so open-system runs
+//!   can never alias batch runs in the memo cache;
+//! * [`ArrivalPlan`] — the materialized per-process arrival cycles,
+//!   generated once per run from the config, the per-process service
+//!   demands and the core count. Generation is **bit-deterministic**:
+//!   splitmix64 draws, inverse-CDF exponentials through a
+//!   software natural log built from IEEE basic operations only (no
+//!   `libm` transcendentals, whose last-bit behaviour is
+//!   platform-defined), so the same `(config, workload, machine)`
+//!   produces the same plan on every host, thread count and memo state;
+//! * [`ArrivalMetrics`] — the steady-state results the engine reports
+//!   next to makespan: queueing/sojourn latency percentiles over
+//!   **simulated cycles**, the ready-queue high-water mark, and per-core
+//!   utilization.
+//!
+//! Generator math and determinism rules are documented in
+//! `docs/arrivals.md`.
+
+use lams_mpsoc::{Fingerprint, FingerprintHasher};
+use lams_procgraph::ProcessId;
+
+/// The arrival-stream shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalShape {
+    /// Memoryless stream: exponential inter-arrival gaps at the
+    /// configured load (inverse-CDF draws).
+    Poisson,
+    /// Bursty stream: geometric bursts of 1–8 simultaneous arrivals,
+    /// separated by exponential gaps scaled by the burst size so the
+    /// long-run offered load matches the configured one.
+    Burst,
+    /// Daily-cycle stream: a Poisson stream whose instantaneous rate is
+    /// modulated by a triangle wave between 0.5× and 1.5× the base
+    /// rate over a fixed period of 64 mean gaps.
+    Diurnal,
+}
+
+impl ArrivalShape {
+    fn as_u64(self) -> u64 {
+        match self {
+            ArrivalShape::Poisson => 0,
+            ArrivalShape::Burst => 1,
+            ArrivalShape::Diurnal => 2,
+        }
+    }
+
+    /// The wire/CLI name (`poisson`, `burst`, `diurnal`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArrivalShape::Poisson => "poisson",
+            ArrivalShape::Burst => "burst",
+            ArrivalShape::Diurnal => "diurnal",
+        }
+    }
+}
+
+impl std::fmt::Display for ArrivalShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Deterministic open-system arrival configuration.
+///
+/// `Copy` so [`EngineConfig`](crate::EngineConfig) stays `Copy`; the
+/// load is stored in **thousandths** (`800` = 0.8) so the config is
+/// `Eq`/hashable and fingerprints exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalConfig {
+    /// Stream shape (Poisson / burst / diurnal).
+    pub shape: ArrivalShape,
+    /// Offered load in thousandths of the machine's aggregate service
+    /// capacity: `1000` means arrivals carry exactly as much service
+    /// demand per cycle as all cores combined can retire.
+    pub load_milli: u64,
+    /// Generator seed (splitmix64 stream).
+    pub seed: u64,
+    /// Bound on the admitted-and-ready queue. An *arrival* that would
+    /// push the queue past this bound sheds the whole run with the
+    /// typed [`Error::QueueSaturated`](crate::Error::QueueSaturated) —
+    /// the deterministic overload outcome at load > 1. `None` (the
+    /// default) never sheds. Preemption re-entries are exempt: the
+    /// bound is an admission control, not a drop of accepted work.
+    pub queue_capacity: Option<u64>,
+}
+
+impl ArrivalConfig {
+    /// A Poisson stream at `load_milli` thousandths of capacity.
+    pub fn poisson(load_milli: u64, seed: u64) -> Self {
+        ArrivalConfig {
+            shape: ArrivalShape::Poisson,
+            load_milli,
+            seed,
+            queue_capacity: None,
+        }
+    }
+
+    /// Builder-style ready-queue bound (see
+    /// [`ArrivalConfig::queue_capacity`]).
+    pub fn with_queue_capacity(mut self, cap: u64) -> Self {
+        self.queue_capacity = Some(cap);
+        self
+    }
+
+    /// Builder-style shape override (the ctor defaults to Poisson).
+    pub fn with_shape(mut self, shape: ArrivalShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Parses the CLI / service syntax
+    /// `SHAPE:LOAD:SEED[:QCAP]`, e.g. `poisson:0.8:7` or
+    /// `burst:1.25:42:256`. `LOAD` is a decimal load factor (rounded to
+    /// thousandths), `SEED` the generator seed, and the optional `QCAP`
+    /// the ready-queue bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown shapes, malformed
+    /// numbers, non-positive loads, or trailing fields.
+    pub fn parse(s: &str) -> std::result::Result<ArrivalConfig, String> {
+        let mut parts = s.split(':');
+        let shape = match parts.next() {
+            Some("poisson") => ArrivalShape::Poisson,
+            Some("burst") => ArrivalShape::Burst,
+            Some("diurnal") => ArrivalShape::Diurnal,
+            Some(other) => {
+                return Err(format!(
+                    "unknown arrival shape '{other}' (expected poisson|burst|diurnal)"
+                ))
+            }
+            None => return Err("empty arrival spec".into()),
+        };
+        let load_str = parts
+            .next()
+            .ok_or_else(|| format!("arrivals '{s}': missing load (SHAPE:LOAD:SEED[:QCAP])"))?;
+        let load: f64 = load_str
+            .parse()
+            .map_err(|_| format!("arrivals '{s}': bad load '{load_str}'"))?;
+        if load.is_nan() || load <= 0.0 || load > 1000.0 {
+            return Err(format!(
+                "arrivals '{s}': load must be in (0, 1000], got {load_str}"
+            ));
+        }
+        let load_milli = (load * 1000.0 + 0.5) as u64;
+        let seed_str = parts
+            .next()
+            .ok_or_else(|| format!("arrivals '{s}': missing seed (SHAPE:LOAD:SEED[:QCAP])"))?;
+        let seed: u64 = seed_str
+            .parse()
+            .map_err(|_| format!("arrivals '{s}': bad seed '{seed_str}'"))?;
+        let queue_capacity = match parts.next() {
+            None => None,
+            Some(cap_str) => Some(
+                cap_str
+                    .parse::<u64>()
+                    .map_err(|_| format!("arrivals '{s}': bad queue capacity '{cap_str}'"))?,
+            ),
+        };
+        if parts.next().is_some() {
+            return Err(format!(
+                "arrivals '{s}': trailing fields (expected SHAPE:LOAD:SEED[:QCAP])"
+            ));
+        }
+        Ok(ArrivalConfig {
+            shape,
+            load_milli,
+            seed,
+            queue_capacity,
+        })
+    }
+
+    /// Content fingerprint over **every** field: an open-system run must
+    /// never share a memo artifact with a batch run or with a run under
+    /// a different stream (registered with `lams-lint`'s
+    /// fingerprint-coverage pass).
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new("lams.arrival-config");
+        h.write_u64(self.shape.as_u64());
+        h.write_u64(self.load_milli);
+        h.write_u64(self.seed);
+        match self.queue_capacity {
+            None => h.write_bool(false),
+            Some(cap) => {
+                h.write_bool(true);
+                h.write_u64(cap);
+            }
+        }
+        h.finish()
+    }
+}
+
+impl std::fmt::Display for ArrivalConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} load={}.{:03} seed={}",
+            self.shape,
+            self.load_milli / 1000,
+            self.load_milli % 1000,
+            self.seed
+        )?;
+        if let Some(cap) = self.queue_capacity {
+            write!(f, " qcap={cap}")?;
+        }
+        Ok(())
+    }
+}
+
+/// splitmix64 — the same generator `lams_core::sweep` uses for fault
+/// seeding: passes practical randomness tests, two lines of code, and
+/// bit-stable forever.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `(0, 1]` from 53 random bits (never 0, so
+/// `ln` below is always defined).
+fn unit(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) + 1) as f64 / 9_007_199_254_740_992.0 // 2^53
+}
+
+/// Natural log from IEEE basic operations only (`+ - * /` are
+/// correctly rounded per IEEE 754 and therefore bit-identical on every
+/// conforming host; `f64::ln` goes through the platform's libm, whose
+/// last bits are not). Decomposes `x = m·2^e` with `m ∈ [1, 2)` and
+/// sums the atanh series for `ln m`. Accurate to well under 1 ulp of
+/// the cycle quantization that consumes it.
+fn ln_det(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x.is_finite());
+    let bits = x.to_bits();
+    let e = ((bits >> 52) & 0x7FF) as i64 - 1023;
+    let m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | (1023u64 << 52));
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let mut term = t;
+    let mut sum = 0.0;
+    let mut k = 1.0;
+    loop {
+        let add = term / k;
+        sum += add;
+        if add < 1e-18 && add > -1e-18 {
+            break;
+        }
+        term *= t2;
+        k += 2.0;
+    }
+    2.0 * sum + (e as f64) * std::f64::consts::LN_2
+}
+
+/// An exponential inter-arrival draw with the given mean, in cycles
+/// (rounded to nearest; simultaneous arrivals are legal).
+fn exp_gap(state: &mut u64, mean: f64) -> u64 {
+    let draw = -ln_det(unit(state)) * mean;
+    (draw + 0.5) as u64
+}
+
+/// The diurnal period, in mean inter-arrival gaps.
+const DIURNAL_PERIOD_GAPS: f64 = 64.0;
+
+/// The materialized arrival schedule: one arrival cycle per process, in
+/// process-id order with non-decreasing times. Generated once per run
+/// (never cached — generation is microseconds even for million-process
+/// streams, and regenerating keeps the memo free of plan aliasing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalPlan {
+    arrivals: Vec<u64>,
+}
+
+impl ArrivalPlan {
+    /// Generates the plan for `service[p]` cycles of per-process service
+    /// demand on a `cores`-core machine.
+    ///
+    /// The base rate follows from the load identity: at offered load
+    /// `L`, arrivals must carry `L × cores` cycles of service demand per
+    /// cycle, so with mean demand `S̄` the mean inter-arrival gap is
+    /// `S̄ / (L × cores)` cycles. Shapes modulate around that base (see
+    /// [`ArrivalShape`]); the empty workload yields the empty plan.
+    pub fn generate(config: ArrivalConfig, service: &[u64], cores: usize) -> ArrivalPlan {
+        let n = service.len();
+        if n == 0 {
+            return ArrivalPlan {
+                arrivals: Vec::new(),
+            };
+        }
+        let total: u128 = service.iter().map(|&s| s as u128).sum();
+        let mean_service = ((total / n as u128) as u64).max(1);
+        let load_milli = config.load_milli.max(1);
+        let inter_mean = (mean_service as f64 * 1000.0) / (load_milli as f64 * cores.max(1) as f64);
+        let mut state = config.seed;
+        let mut arrivals = Vec::with_capacity(n);
+        let mut t: u64 = 0;
+        match config.shape {
+            ArrivalShape::Poisson => {
+                for _ in 0..n {
+                    t += exp_gap(&mut state, inter_mean);
+                    arrivals.push(t);
+                }
+            }
+            ArrivalShape::Burst => {
+                let mut left_in_burst = 0u64;
+                for _ in 0..n {
+                    if left_in_burst == 0 {
+                        let burst = 1 + (splitmix64(&mut state) % 8);
+                        t += exp_gap(&mut state, inter_mean * burst as f64);
+                        left_in_burst = burst;
+                    }
+                    left_in_burst -= 1;
+                    arrivals.push(t);
+                }
+            }
+            ArrivalShape::Diurnal => {
+                let period = inter_mean * DIURNAL_PERIOD_GAPS;
+                for _ in 0..n {
+                    // Triangle wave over the phase: rate factor in
+                    // [0.5, 1.5], so gaps stretch off-peak and compress
+                    // at the peak.
+                    let phase = (t as f64) / period;
+                    let frac = phase - (phase as u64) as f64;
+                    let tri = 1.0 - (2.0 * frac - 1.0).abs();
+                    let factor = 0.5 + tri;
+                    t += exp_gap(&mut state, inter_mean / factor);
+                    arrivals.push(t);
+                }
+            }
+        }
+        ArrivalPlan { arrivals }
+    }
+
+    /// Number of arrivals (one per process).
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Arrival cycle of process `p`.
+    pub fn arrival(&self, p: ProcessId) -> u64 {
+        self.arrivals[p.as_usize()]
+    }
+
+    /// Arrival cycle by process index (the engine's admission cursor).
+    pub fn time(&self, index: usize) -> u64 {
+        self.arrivals[index]
+    }
+
+    /// The last arrival's cycle (0 for the empty plan).
+    pub fn span(&self) -> u64 {
+        self.arrivals.last().copied().unwrap_or(0)
+    }
+
+    /// FNV-1a over the arrival cycles — the seed-stability golden
+    /// (`tests/cross_validation.rs` pins one for a fixed config).
+    pub fn checksum(&self) -> u64 {
+        let mut sum: u64 = 0xCBF2_9CE4_8422_2325;
+        for &t in &self.arrivals {
+            for b in t.to_le_bytes() {
+                sum ^= b as u64;
+                sum = sum.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        sum
+    }
+}
+
+/// Nearest-rank latency percentiles in **simulated cycles** (exact
+/// integers — no float aggregation, so they are bit-stable goldens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl LatencyPercentiles {
+    /// Nearest-rank percentiles of `samples` (sorted in place).
+    fn from_samples(samples: &mut [u64]) -> LatencyPercentiles {
+        samples.sort_unstable();
+        let at = |q_num: usize, q_den: usize| -> u64 {
+            if samples.is_empty() {
+                return 0;
+            }
+            let rank = (samples.len() * q_num).div_ceil(q_den);
+            samples[rank.max(1) - 1]
+        };
+        LatencyPercentiles {
+            p50: at(50, 100),
+            p90: at(90, 100),
+            p99: at(99, 100),
+            max: samples.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Steady-state metrics of one open-system run, reported next to the
+/// makespan in [`RunResult`](crate::RunResult). All latencies are
+/// simulated cycles; nothing here depends on host time, thread count or
+/// memo state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalMetrics {
+    /// Processes that arrived, ran and completed (the whole workload —
+    /// a run that sheds or deadlines returns an error, not metrics).
+    pub completed: usize,
+    /// Arrival → first dispatch, per process.
+    pub queueing: LatencyPercentiles,
+    /// Arrival → completion, per process.
+    pub sojourn: LatencyPercentiles,
+    /// High-water mark of the admitted-and-ready queue (arrived,
+    /// dependence-ready, not yet dispatched — preempted re-entries
+    /// included).
+    pub queue_depth_peak: usize,
+    /// Per-core busy fraction of the makespan.
+    pub core_utilization: Vec<f64>,
+    /// Cycle of the last arrival.
+    pub arrival_span_cycles: u64,
+    /// [`ArrivalPlan::checksum`] of the plan this run admitted.
+    pub plan_checksum: u64,
+}
+
+impl ArrivalMetrics {
+    /// Builds the metrics from per-process `(arrival, first-start,
+    /// finish)` triples plus the queue peak and per-core busy cycles.
+    pub(crate) fn collect(
+        triples: impl Iterator<Item = (u64, u64, u64)>,
+        queue_depth_peak: usize,
+        core_busy: &[u64],
+        makespan: u64,
+        plan: &ArrivalPlan,
+    ) -> ArrivalMetrics {
+        let mut queueing = Vec::new();
+        let mut sojourn = Vec::new();
+        for (arrival, start, finish) in triples {
+            queueing.push(start.saturating_sub(arrival));
+            sojourn.push(finish.saturating_sub(arrival));
+        }
+        let completed = sojourn.len();
+        ArrivalMetrics {
+            completed,
+            queueing: LatencyPercentiles::from_samples(&mut queueing),
+            sojourn: LatencyPercentiles::from_samples(&mut sojourn),
+            queue_depth_peak,
+            core_utilization: core_busy
+                .iter()
+                .map(|&b| {
+                    if makespan == 0 {
+                        0.0
+                    } else {
+                        b as f64 / makespan as f64
+                    }
+                })
+                .collect(),
+            arrival_span_cycles: plan.span(),
+            plan_checksum: plan.checksum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shape: ArrivalShape) -> ArrivalConfig {
+        ArrivalConfig {
+            shape,
+            load_milli: 800,
+            seed: 7,
+            queue_capacity: None,
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_monotone() {
+        let service = vec![1000u64; 500];
+        for shape in [
+            ArrivalShape::Poisson,
+            ArrivalShape::Burst,
+            ArrivalShape::Diurnal,
+        ] {
+            let a = ArrivalPlan::generate(cfg(shape), &service, 8);
+            let b = ArrivalPlan::generate(cfg(shape), &service, 8);
+            assert_eq!(a, b, "{shape} plan not reproducible");
+            assert!(
+                a.arrivals.windows(2).all(|w| w[0] <= w[1]),
+                "{shape} arrivals must be non-decreasing"
+            );
+            assert_eq!(a.checksum(), b.checksum());
+        }
+    }
+
+    #[test]
+    fn seeds_and_shapes_change_the_stream() {
+        let service = vec![1000u64; 200];
+        let base = ArrivalPlan::generate(cfg(ArrivalShape::Poisson), &service, 8);
+        let reseeded = ArrivalPlan::generate(
+            ArrivalConfig {
+                seed: 8,
+                ..cfg(ArrivalShape::Poisson)
+            },
+            &service,
+            8,
+        );
+        assert_ne!(base, reseeded);
+        let bursty = ArrivalPlan::generate(cfg(ArrivalShape::Burst), &service, 8);
+        assert_ne!(base, bursty);
+    }
+
+    #[test]
+    fn poisson_mean_gap_tracks_the_load() {
+        // 2000 arrivals at load 0.8 on 8 cores with mean service 1000:
+        // expected mean gap = 1000 / (0.8 * 8) = 156.25 cycles.
+        let service = vec![1000u64; 2000];
+        let plan = ArrivalPlan::generate(cfg(ArrivalShape::Poisson), &service, 8);
+        let mean = plan.span() as f64 / plan.len() as f64;
+        assert!(
+            (mean - 156.25).abs() < 10.0,
+            "mean inter-arrival {mean} far from 156.25"
+        );
+    }
+
+    #[test]
+    fn burst_shape_produces_simultaneous_arrivals() {
+        let service = vec![1000u64; 200];
+        let plan = ArrivalPlan::generate(cfg(ArrivalShape::Burst), &service, 8);
+        let simultaneous = plan.arrivals.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(simultaneous > 20, "bursts must overlap: {simultaneous}");
+    }
+
+    #[test]
+    fn ln_det_matches_known_values() {
+        for (x, expect) in [
+            (1.0, 0.0),
+            (std::f64::consts::E, 1.0),
+            (2.0, std::f64::consts::LN_2),
+            (0.5, -std::f64::consts::LN_2),
+            (1e-9, -20.723_265_836_946_41),
+        ] {
+            assert!(
+                (ln_det(x) - expect).abs() < 1e-12,
+                "ln({x}) = {} != {expect}",
+                ln_det(x)
+            );
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let c = ArrivalConfig::parse("poisson:0.8:7").unwrap();
+        assert_eq!(c, ArrivalConfig::poisson(800, 7));
+        let c = ArrivalConfig::parse("burst:1.25:42:256").unwrap();
+        assert_eq!(c.shape, ArrivalShape::Burst);
+        assert_eq!(c.load_milli, 1250);
+        assert_eq!(c.queue_capacity, Some(256));
+        assert_eq!(c.to_string(), "burst load=1.250 seed=42 qcap=256");
+        for bad in [
+            "",
+            "poisson",
+            "poisson:0.8",
+            "poisson:zero:7",
+            "poisson:0:7",
+            "poisson:-1:7",
+            "poisson:0.8:x",
+            "poisson:0.8:7:cap",
+            "poisson:0.8:7:1:extra",
+            "warp:0.8:7",
+        ] {
+            assert!(ArrivalConfig::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_every_field() {
+        let base = ArrivalConfig::poisson(800, 7);
+        let variants = [
+            ArrivalConfig {
+                shape: ArrivalShape::Burst,
+                ..base
+            },
+            ArrivalConfig {
+                load_milli: 801,
+                ..base
+            },
+            ArrivalConfig { seed: 8, ..base },
+            base.with_queue_capacity(0),
+            base.with_queue_capacity(1),
+        ];
+        for v in &variants {
+            assert_ne!(v.fingerprint(), base.fingerprint(), "{v} aliased {base}");
+        }
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s: Vec<u64> = (1..=100).collect();
+        let p = LatencyPercentiles::from_samples(&mut s);
+        assert_eq!(p.p50, 50);
+        assert_eq!(p.p90, 90);
+        assert_eq!(p.p99, 99);
+        assert_eq!(p.max, 100);
+        let mut one = vec![42u64];
+        let p = LatencyPercentiles::from_samples(&mut one);
+        assert_eq!((p.p50, p.p99, p.max), (42, 42, 42));
+    }
+}

@@ -63,6 +63,7 @@ use lams_procgraph::{EpgBuilder, ProcessGraph, ProcessId, ReadyTracker};
 use lams_trace::{Cursor, TraceBundle};
 use lams_workloads::{Trace, Workload};
 
+use crate::arrivals::{ArrivalConfig, ArrivalMetrics, ArrivalPlan};
 use crate::{Error, Policy, Result};
 
 /// Which trace representation feeds the cores.
@@ -106,6 +107,15 @@ pub struct EngineConfig {
     /// scenario can hold a worker without breaking bit-reproducibility
     /// for every request it accepts.
     pub max_cycles: Option<u64>,
+    /// Open-system mode: when set, processes are not all ready at cycle
+    /// zero but *arrive* on the deterministic seeded stream described by
+    /// the config ([`crate::arrivals`]). Arrivals ride the engine's
+    /// deferred-event heap (see [`RunState::ArrivalPending`]), admission
+    /// re-invokes the policy's placement, and the result additionally
+    /// carries steady-state metrics ([`RunResult::arrivals`]). `None`
+    /// (the default) is the paper's batch mode, bit-identical to
+    /// pre-arrival engines.
+    pub arrivals: Option<ArrivalConfig>,
 }
 
 impl EngineConfig {
@@ -116,6 +126,7 @@ impl EngineConfig {
             quantum_override: None,
             trace_mode: TraceMode::default(),
             max_cycles: None,
+            arrivals: None,
         }
     }
 
@@ -129,6 +140,13 @@ impl EngineConfig {
     /// [`EngineConfig::max_cycles`]).
     pub fn with_deadline_cycles(mut self, budget: u64) -> Self {
         self.max_cycles = Some(budget);
+        self
+    }
+
+    /// Builder-style open-system arrival stream (see
+    /// [`EngineConfig::arrivals`]).
+    pub fn with_arrivals(mut self, arrivals: ArrivalConfig) -> Self {
+        self.arrivals = Some(arrivals);
         self
     }
 
@@ -160,6 +178,13 @@ impl EngineConfig {
                 h.write_u64(c);
             }
         }
+        match self.arrivals {
+            None => h.write_bool(false),
+            Some(a) => {
+                h.write_bool(true);
+                h.write_fingerprint(a.fingerprint());
+            }
+        }
         h.finish()
     }
 }
@@ -177,6 +202,7 @@ impl From<MachineConfig> for EngineConfig {
             quantum_override: None,
             trace_mode: TraceMode::default(),
             max_cycles: None,
+            arrivals: None,
         }
     }
 }
@@ -210,6 +236,10 @@ pub struct RunResult {
     pub core_sequences: Vec<Vec<ProcessId>>,
     /// Per-process execution record.
     pub processes: BTreeMap<ProcessId, ProcessExec>,
+    /// Steady-state metrics of an open-system run (latency percentiles,
+    /// queue-depth peak, per-core utilization). `None` in batch mode
+    /// ([`EngineConfig::arrivals`] unset).
+    pub arrivals: Option<ArrivalMetrics>,
 }
 
 impl RunResult {
@@ -268,6 +298,20 @@ enum RunState {
     /// is therefore complete and
     /// [`Machine::complete_bus_access`] resolves it deterministically.
     BusPending,
+    /// An open-system arrival event ([`EngineConfig::arrivals`]). These
+    /// entries belong to no core: they are keyed `(arrival_cycle,
+    /// sentinel)` where the sentinel index is one past the last real
+    /// core, so an arrival fires in exact global order with every other
+    /// deferred event (and, sorting after real cores at an equal key,
+    /// only once all events of that cycle have been processed). When it
+    /// pops, every process arriving at that cycle is admitted — marked
+    /// arrived, enqueued if its dependences are already met, announced
+    /// via `Policy::on_ready` — and the next pending arrival is
+    /// re-queued. The heap is therefore never empty while arrivals
+    /// remain, which is what keeps a too-tight deadline a clean
+    /// [`Error::DeadlineExceeded`] instead of an
+    /// [`Error::EngineStalled`] misclassification.
+    ArrivalPending,
 }
 
 /// A core's trace feed: either the scalar iterator or an IR cursor.
@@ -316,12 +360,14 @@ pub fn execute(
     config: impl Into<EngineConfig>,
 ) -> Result<RunResult> {
     let config: EngineConfig = config.into();
+    let plan = plan_for_workload(&config, workload);
     match config.trace_mode {
         TraceMode::Scalar => run_engine(
             workload.epg(),
             |p| Feed::Scalar(workload.trace(p, layout)),
             policy,
             config,
+            plan,
         ),
         TraceMode::Ir => {
             let programs = workload.compile_traces(layout);
@@ -330,9 +376,24 @@ pub fn execute(
                 |p| Feed::Ir(Cursor::new(&programs[p.as_usize()])),
                 policy,
                 config,
+                plan,
             )
         }
     }
+}
+
+/// Materializes the arrival plan for a workload run: service demand is
+/// each process's declared trace length — the layout only moves
+/// addresses, never op counts, so the plan is layout-independent and
+/// open-system runs stay comparable across LSM candidate layouts.
+fn plan_for_workload(config: &EngineConfig, workload: &Workload) -> Option<ArrivalPlan> {
+    config.arrivals.map(|a| {
+        let service: Vec<u64> = workload
+            .process_ids()
+            .map(|p| workload.trace_len(p))
+            .collect();
+        ArrivalPlan::generate(a, &service, config.machine.num_cores)
+    })
 }
 
 /// [`execute`] with the compiled trace programs served from `memo`
@@ -354,12 +415,14 @@ pub fn execute_cached(
     memo: &crate::memo::ArtifactCache,
 ) -> Result<RunResult> {
     let config: EngineConfig = config.into();
+    let plan = plan_for_workload(&config, workload);
     match config.trace_mode {
         TraceMode::Scalar => run_engine(
             workload.epg(),
             |p| Feed::Scalar(workload.trace(p, layout)),
             policy,
             config,
+            plan,
         ),
         TraceMode::Ir => {
             let programs = memo.programs(workload, layout);
@@ -368,6 +431,7 @@ pub fn execute_cached(
                 |p| Feed::Ir(Cursor::new(&programs[p.as_usize()])),
                 policy,
                 config,
+                plan,
             )
         }
     }
@@ -398,11 +462,17 @@ pub fn execute_bundle(
         builder.add_edge(ProcessId::new(from), ProcessId::new(to))?;
     }
     let epg = builder.build()?;
+    let config: EngineConfig = config.into();
+    let plan = config.arrivals.map(|a| {
+        let service: Vec<u64> = bundle.records.iter().map(|r| r.program.len_ops()).collect();
+        ArrivalPlan::generate(a, &service, config.machine.num_cores)
+    });
     run_engine(
         &epg,
         |p| Feed::Ir(Cursor::new(&bundle.records[p.as_usize()].program)),
         policy,
-        config.into(),
+        config,
+        plan,
     )
 }
 
@@ -413,6 +483,7 @@ fn run_engine<'a, F>(
     mut feed: F,
     policy: &mut dyn Policy,
     config: EngineConfig,
+    plan: Option<ArrivalPlan>,
 ) -> Result<RunResult>
 where
     F: FnMut(ProcessId) -> Feed<'a>,
@@ -428,6 +499,27 @@ where
     let mut execs: BTreeMap<ProcessId, ProcessExec> = BTreeMap::new();
     let quantum = |p: &dyn Policy| config.quantum_override.or(p.quantum());
 
+    // Open-system admission state. In batch mode (`plan` is `None`)
+    // every process has "arrived" up front and the per-event filters
+    // below pass everything through — bit-identical to the pre-arrival
+    // engine. Arrival events carry the sentinel index `cores` (one past
+    // the last real core) in the busy heap; the pop handler resolves it
+    // to [`RunState::ArrivalPending`] before touching any per-core slot.
+    let open = plan.is_some();
+    let n = epg.len();
+    debug_assert!(plan.as_ref().is_none_or(|p| p.len() == n));
+    let arrival_key: usize = cores;
+    let mut arrived: Vec<bool> = vec![!open; n];
+    let mut dep_ready: Vec<bool> = vec![false; n];
+    let mut next_arrival: usize = 0;
+    // Admitted-and-ready queue accounting (open mode only): +1 when a
+    // process becomes dispatchable (admission, dependence completion,
+    // preemption re-entry), −1 on dispatch. The capacity bound sheds
+    // on *admission-driven* growth; preemption re-entries only move the
+    // high-water mark.
+    let mut queued: usize = 0;
+    let mut queue_peak: usize = 0;
+
     // Scratch buffers reused across iterations, and the busy-core
     // min-heap: exactly one entry per busy core (popped on selection,
     // re-pushed after each batch while the core stays busy). An entry's
@@ -439,10 +531,20 @@ where
     let mut idle: Vec<(CoreId, Option<ProcessId>, u64)> = Vec::new();
     let mut busy: BinaryHeap<Reverse<(u64, CoreId)>> = BinaryHeap::with_capacity(cores);
 
-    // Roots are ready at time zero.
+    // Roots are dependence-ready at time zero; in batch mode they are
+    // also immediately dispatchable, in open mode they wait for their
+    // arrival event.
     for p in tracker.ready().collect::<Vec<_>>() {
-        ready_at.insert(p, 0);
-        policy.on_ready(p, 0);
+        dep_ready[p.as_usize()] = true;
+        if !open {
+            ready_at.insert(p, 0);
+            policy.on_ready(p, 0);
+        }
+    }
+    if let Some(plan) = &plan {
+        if !plan.is_empty() {
+            busy.push(Reverse((plan.time(0), arrival_key)));
+        }
     }
 
     loop {
@@ -459,7 +561,7 @@ where
         // strictly ahead of the candidate start time.
         loop {
             ready_vec.clear();
-            ready_vec.extend(tracker.ready());
+            ready_vec.extend(tracker.ready().filter(|p| arrived[p.as_usize()]));
             if ready_vec.is_empty() {
                 break;
             }
@@ -495,6 +597,9 @@ where
                     continue;
                 };
                 tracker.start(pid)?;
+                if open {
+                    queued -= 1;
+                }
                 let start = machine
                     .core_clock(core)?
                     .max(ready_at.get(&pid).copied().unwrap_or(0));
@@ -553,8 +658,46 @@ where
                 });
             }
         }
-        let state = running[core].as_ref().expect("core is busy").state;
+        let state = if core == arrival_key {
+            RunState::ArrivalPending
+        } else {
+            running[core].as_ref().expect("core is busy").state
+        };
         match state {
+            RunState::ArrivalPending => {
+                // Admit every process arriving at this cycle: mark it
+                // arrived and, when its dependences are already met,
+                // enqueue it (placement is re-invoked naturally — the
+                // dispatch loop above re-ranks and re-selects with the
+                // grown ready set on the next iteration). The admission
+                // cursor walks the plan in process-id order, which is
+                // also non-decreasing arrival order.
+                let plan = plan.as_ref().expect("arrival event implies a plan");
+                while next_arrival < n && plan.time(next_arrival) <= key {
+                    let pid = ProcessId::new(next_arrival as u32);
+                    arrived[next_arrival] = true;
+                    if dep_ready[next_arrival] {
+                        ready_at.insert(pid, key);
+                        policy.on_ready(pid, key);
+                        queued += 1;
+                        queue_peak = queue_peak.max(queued);
+                        if let Some(cap) = config.arrivals.and_then(|a| a.queue_capacity) {
+                            if queued as u64 > cap {
+                                return Err(Error::QueueSaturated {
+                                    capacity: cap,
+                                    depth: queued,
+                                    at_cycle: key,
+                                });
+                            }
+                        }
+                    }
+                    next_arrival += 1;
+                }
+                if next_arrival < n {
+                    busy.push(Reverse((plan.time(next_arrival), arrival_key)));
+                }
+                continue;
+            }
             RunState::FinishPending => {
                 let now = machine.core_clock(core)?;
                 debug_assert_eq!(now, key, "completion key is the finish clock");
@@ -564,8 +707,17 @@ where
                     e.core = core;
                 }
                 for succ in tracker.complete(pid)? {
-                    ready_at.insert(succ, now);
-                    policy.on_ready(succ, now);
+                    dep_ready[succ.as_usize()] = true;
+                    if arrived[succ.as_usize()] {
+                        ready_at.insert(succ, now);
+                        policy.on_ready(succ, now);
+                        if open {
+                            queued += 1;
+                            queue_peak = queue_peak.max(queued);
+                        }
+                    }
+                    // Not yet arrived: admission (above) announces it,
+                    // at its arrival cycle, which is later than `now`.
                 }
                 continue;
             }
@@ -578,6 +730,12 @@ where
                 tracker.preempt(pid)?;
                 ready_at.insert(pid, now);
                 policy.on_preempt(pid, now);
+                if open {
+                    // Re-entry, not admission: counts toward the queue
+                    // high-water mark but never sheds (see above).
+                    queued += 1;
+                    queue_peak = queue_peak.max(queued);
+                }
                 continue;
             }
             RunState::BusPending => {
@@ -638,12 +796,12 @@ where
         if config.machine.bus.is_some_and(|b| b.serializes_ops()) {
             horizon = horizon.min(busy.peek().map_or(u64::MAX, |&Reverse((t, _))| t));
         }
-        if tracker.ready_len() > 0 {
-            let min_ready_at = tracker
-                .ready()
-                .map(|p| ready_at.get(&p).copied().unwrap_or(0))
-                .min()
-                .unwrap_or(0);
+        let min_ready_at = tracker
+            .ready()
+            .filter(|p| arrived[p.as_usize()])
+            .map(|p| ready_at.get(&p).copied().unwrap_or(0))
+            .min();
+        if let Some(min_ready_at) = min_ready_at {
             for (c, slot) in running.iter().enumerate() {
                 if slot.is_none() {
                     let gate = machine.core_clock(c)?.max(min_ready_at) + 1;
@@ -680,12 +838,31 @@ where
     }
 
     let stats = machine.stats();
+    let arrival_metrics = match &plan {
+        None => None,
+        Some(plan) => {
+            let mut core_busy = Vec::with_capacity(cores);
+            for c in 0..cores {
+                core_busy.push(machine.core_stats(c)?.busy_cycles);
+            }
+            Some(ArrivalMetrics::collect(
+                execs
+                    .iter()
+                    .map(|(p, e)| (plan.arrival(*p), e.start, e.finish)),
+                queue_peak,
+                &core_busy,
+                stats.makespan_cycles,
+                plan,
+            ))
+        }
+    };
     Ok(RunResult {
         makespan_cycles: stats.makespan_cycles,
         seconds: config.machine.cycles_to_seconds(stats.makespan_cycles),
         machine: stats,
         core_sequences,
         processes: execs,
+        arrivals: arrival_metrics,
     })
 }
 
@@ -701,6 +878,7 @@ mod tests {
             quantum_override: None,
             trace_mode: TraceMode::default(),
             max_cycles: None,
+            arrivals: None,
         }
     }
 
@@ -826,6 +1004,7 @@ mod tests {
             quantum_override: Some(500),
             trace_mode: TraceMode::default(),
             max_cycles: None,
+            arrivals: None,
         };
         let r = execute(&w, &layout, &mut ls, cfg).unwrap();
         assert!(r.processes.values().any(|e| e.dispatches > 1));
@@ -838,5 +1017,123 @@ mod tests {
         let r = run_policy(&w, &mut p, 8);
         // Sanity: makespan at least the busiest core's cycles / cores.
         assert!(r.makespan_cycles * 8 >= r.machine.total_busy_cycles);
+    }
+
+    use crate::arrivals::ArrivalConfig;
+
+    fn run_open(
+        workload: &Workload,
+        policy: &mut dyn Policy,
+        cores: usize,
+        arrivals: ArrivalConfig,
+    ) -> Result<RunResult> {
+        let layout = Layout::linear(workload.arrays());
+        let cfg = small_machine(cores).with_arrivals(arrivals);
+        execute(workload, &layout, policy, cfg)
+    }
+
+    #[test]
+    fn open_system_admits_every_process_and_reports_metrics() {
+        let w = Workload::single(suite::shape(Scale::Tiny)).unwrap();
+        let mut p = RandomPolicy::new(1);
+        let cfg = ArrivalConfig::poisson(800, 42);
+        let r = run_open(&w, &mut p, 4, cfg).unwrap();
+        assert_eq!(r.processes.len(), 9, "open run lost processes");
+        let m = r.arrivals.as_ref().expect("open run carries metrics");
+        assert_eq!(m.completed, 9);
+        assert_eq!(m.core_utilization.len(), 4);
+        assert!(m.core_utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(m.sojourn.max >= m.sojourn.p50);
+        assert!(m.queueing.max <= m.sojourn.max);
+        assert_ne!(m.plan_checksum, 0);
+        // No process may start before it arrived.
+        let plan = ArrivalPlan::generate(
+            cfg,
+            &w.process_ids().map(|p| w.trace_len(p)).collect::<Vec<_>>(),
+            4,
+        );
+        for (pid, e) in &r.processes {
+            assert!(
+                e.start >= plan.arrival(*pid),
+                "{pid} started at {} before arriving at {}",
+                e.start,
+                plan.arrival(*pid)
+            );
+        }
+    }
+
+    #[test]
+    fn open_system_runs_are_deterministic() {
+        let w = Workload::single(suite::track(Scale::Tiny)).unwrap();
+        let run = || {
+            let mut p = RoundRobinPolicy::new(2_000);
+            format!(
+                "{:?}",
+                run_open(&w, &mut p, 4, ArrivalConfig::poisson(900, 7)).unwrap()
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn arrival_seed_changes_the_schedule() {
+        let w = Workload::single(suite::shape(Scale::Tiny)).unwrap();
+        let run = |seed| {
+            let mut p = RandomPolicy::new(1);
+            run_open(&w, &mut p, 4, ArrivalConfig::poisson(500, seed))
+                .unwrap()
+                .makespan_cycles
+        };
+        assert_ne!(run(11), run(12), "seed must steer the arrival stream");
+    }
+
+    #[test]
+    fn batch_results_carry_no_arrival_metrics() {
+        let w = Workload::single(suite::shape(Scale::Tiny)).unwrap();
+        let mut p = RandomPolicy::new(1);
+        let r = run_policy(&w, &mut p, 4);
+        assert!(r.arrivals.is_none());
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_on_first_admission() {
+        let w = Workload::single(suite::shape(Scale::Tiny)).unwrap();
+        let mut p = RandomPolicy::new(1);
+        let cfg = ArrivalConfig::poisson(800, 42).with_queue_capacity(0);
+        let err = run_open(&w, &mut p, 4, cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::QueueSaturated {
+                    capacity: 0,
+                    depth: 1,
+                    ..
+                }
+            ),
+            "wanted QueueSaturated, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn arrival_stream_outliving_the_budget_is_a_clean_deadline() {
+        // Load 0.001 stretches inter-arrivals by ~1000x: the first
+        // arrival event alone sits far past a tiny budget, so the run
+        // must fail DeadlineExceeded (never EngineStalled, never spin).
+        let w = Workload::single(suite::shape(Scale::Tiny)).unwrap();
+        let layout = Layout::linear(w.arrays());
+        let mut p = RandomPolicy::new(1);
+        let mut cfg = small_machine(4).with_arrivals(ArrivalConfig::poisson(1, 3));
+        cfg.max_cycles = Some(10);
+        let err = execute(&w, &layout, &mut p, cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::DeadlineExceeded {
+                    budget_cycles: 10,
+                    ..
+                }
+            ),
+            "wanted DeadlineExceeded, got {err:?}"
+        );
     }
 }

@@ -25,6 +25,20 @@ pub enum Error {
         /// The global simulated clock when the budget check fired.
         elapsed_cycles: u64,
     },
+    /// An open-system run's bounded ready queue overflowed: arrivals
+    /// outpaced service (offered load > 1) past the configured
+    /// capacity (see
+    /// [`ArrivalConfig::with_queue_capacity`](crate::ArrivalConfig)).
+    /// Deterministic: the shed always fires at the same admission, at
+    /// the same simulated cycle, independent of thread count.
+    QueueSaturated {
+        /// The configured ready-queue capacity.
+        capacity: u64,
+        /// The queue depth that exceeded it.
+        depth: usize,
+        /// The global simulated clock at the saturating admission.
+        at_cycle: u64,
+    },
     /// A sweep job panicked. The panic was caught at the job boundary
     /// ([`SweepRunner::run_caught`](crate::SweepRunner::run_caught)), so
     /// only this job failed — sibling jobs and the worker pool survive.
@@ -57,6 +71,14 @@ impl fmt::Display for Error {
                 f,
                 "run exceeded its {budget_cycles}-cycle budget at cycle {elapsed_cycles}"
             ),
+            Error::QueueSaturated {
+                capacity,
+                depth,
+                at_cycle,
+            } => write!(
+                f,
+                "arrival queue saturated: depth {depth} exceeds capacity {capacity} at cycle {at_cycle}"
+            ),
             Error::JobPanicked { job, message } => {
                 write!(f, "sweep job {job} panicked: {message}")
             }
@@ -77,6 +99,7 @@ impl std::error::Error for Error {
             Error::Layout(e) => Some(e),
             Error::EngineStalled { .. }
             | Error::DeadlineExceeded { .. }
+            | Error::QueueSaturated { .. }
             | Error::JobPanicked { .. } => None,
         }
     }
@@ -116,6 +139,15 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "policy stalled the engine with 3 ready processes"
+        );
+        let q = Error::QueueSaturated {
+            capacity: 4,
+            depth: 5,
+            at_cycle: 1000,
+        };
+        assert_eq!(
+            q.to_string(),
+            "arrival queue saturated: depth 5 exceeds capacity 4 at cycle 1000"
         );
     }
 }

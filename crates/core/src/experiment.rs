@@ -8,6 +8,7 @@ use lams_mpsoc::MachineConfig;
 use lams_presburger::IndexSet;
 use lams_workloads::{AppSpec, Workload};
 
+use crate::arrivals::ArrivalConfig;
 use crate::memo::ArtifactCache;
 use crate::report::ComparisonReport;
 use crate::round_robin::DEFAULT_QUANTUM;
@@ -45,6 +46,7 @@ pub struct Experiment {
     seed: u64,
     relayout_threshold: Option<f64>,
     deadline_cycles: Option<u64>,
+    arrivals: Option<ArrivalConfig>,
     runner: SweepRunner,
     memo: Arc<ArtifactCache>,
 }
@@ -81,6 +83,7 @@ impl Experiment {
             seed: 0,
             relayout_threshold: None,
             deadline_cycles: None,
+            arrivals: None,
             runner: SweepRunner::sequential(),
             memo: ArtifactCache::shared(),
         }
@@ -115,6 +118,20 @@ impl Experiment {
     /// request cost without perturbing results.
     pub fn with_deadline_cycles(mut self, budget: u64) -> Self {
         self.deadline_cycles = Some(budget);
+        self
+    }
+
+    /// Runs the workload as an *open system*: processes are admitted by
+    /// the deterministic arrival stream `arrivals` generates
+    /// ([`ArrivalPlan`](crate::ArrivalPlan)) instead of all being
+    /// present at cycle 0, and the engine result carries steady-state
+    /// queueing metrics
+    /// ([`RunResult::arrivals`](crate::RunResult::arrivals)). For LSM,
+    /// the data-mapping ladder still runs on the batch schedule (the
+    /// layout decision is compile-time); only the final reported run
+    /// replays the chosen layout under the arrival stream.
+    pub fn with_arrivals(mut self, arrivals: ArrivalConfig) -> Self {
+        self.arrivals = Some(arrivals);
         self
     }
 
@@ -176,8 +193,17 @@ impl Experiment {
         match kind {
             PolicyKind::LocalityMap => Ok(self.run_lsm_memo(self.runner, memo)?.0),
             // The plain LS run *is* the LSM pilot (LS on the linear
-            // layout): serve both from one memo slot.
-            PolicyKind::Locality => Ok(self.pilot(memo)?.as_ref().clone()),
+            // layout): serve both from one memo slot. The pilot slot is
+            // keyed on (workload, machine) only, so an open-system run
+            // (whose result depends on the arrival config too) must not
+            // read or fill it — it runs the engine directly instead.
+            PolicyKind::Locality if self.arrivals.is_none() => {
+                Ok(self.pilot(memo)?.as_ref().clone())
+            }
+            PolicyKind::Locality => {
+                let linear = Layout::linear(self.workload.arrays());
+                self.run_with_layout(PolicyKind::Locality, &linear, memo)
+            }
             _ => {
                 let layout = Layout::linear(self.workload.arrays());
                 self.run_with_layout(kind, &layout, memo)
@@ -218,6 +244,7 @@ impl Experiment {
     ) -> Result<RunResult> {
         let mut cfg = EngineConfig::from(self.machine);
         cfg.max_cycles = self.deadline_cycles;
+        cfg.arrivals = self.arrivals;
         match kind {
             PolicyKind::Random => {
                 let mut p = RandomPolicy::new(self.seed);
@@ -255,6 +282,26 @@ impl Experiment {
         runner: SweepRunner,
         memo: &ArtifactCache,
     ) -> Result<(RunResult, LsmArtifacts)> {
+        // Open system: the data-mapping decision is compile-time — run
+        // the whole candidate ladder on the *batch* variant of this
+        // experiment (arrival-independent, so the pilot and LS-result
+        // memo slots stay sound and shared), then replay only the
+        // chosen layout under the arrival stream for the reported run.
+        // This also keeps two different arrival plans from ever sharing
+        // a cached engine result (the memo aliasing trap).
+        if self.arrivals.is_some() {
+            let mut batch = self.clone();
+            batch.arrivals = None;
+            let (_, art) = batch.run_lsm_memo(runner, memo)?;
+            let layout = if art.assignment.is_empty() {
+                Layout::linear(self.workload.arrays())
+            } else {
+                Layout::remapped(self.workload.arrays(), &self.machine.cache, &art.assignment)
+            };
+            let result = self.run_with_layout(PolicyKind::LocalityMap, &layout, memo)?;
+            return Ok((result, art));
+        }
+
         // Read the debug switch once: sweeps amplify this path, and a
         // per-candidate `env::var_os` is a syscall in a hot loop.
         let debug = std::env::var_os("LAMS_LSM_DEBUG").is_some();

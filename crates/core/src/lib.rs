@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 mod critical_path;
 mod engine;
 mod error;
@@ -71,6 +72,7 @@ mod sharing;
 pub mod sweep;
 mod task_affinity;
 
+pub use arrivals::{ArrivalConfig, ArrivalMetrics, ArrivalPlan, ArrivalShape, LatencyPercentiles};
 pub use critical_path::CriticalPathPolicy;
 pub use engine::{
     execute, execute_bundle, execute_cached, EngineConfig, ProcessExec, RunResult, TraceMode,

@@ -247,6 +247,7 @@ fn engine_cfg(machine: MachineConfig, quantum: Option<u64>, mode: TraceMode) -> 
         quantum_override: quantum,
         trace_mode: mode,
         max_cycles: None,
+        arrivals: None,
     }
 }
 

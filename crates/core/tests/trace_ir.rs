@@ -34,6 +34,7 @@ fn assert_modes_agree(
             quantum_override,
             trace_mode: mode,
             max_cycles: None,
+            arrivals: None,
         };
         let mut p = make_policy();
         execute(w, layout, p.as_mut(), cfg).expect("engine runs")

@@ -23,13 +23,14 @@ use crate::lexer::Token;
 use crate::workspace::{next_brace_block, SourceFile, Workspace};
 
 /// Struct name → function that must cover its fields.
-const REGISTRY: [(&str, &str); 6] = [
+const REGISTRY: [(&str, &str); 7] = [
     ("Workload", "fingerprint"),
     ("Layout", "fingerprint"),
     ("MachineConfig", "machine_fingerprint"),
     ("CacheConfig", "machine_fingerprint"),
     ("BusConfig", "machine_fingerprint"),
     ("EngineConfig", "fingerprint"),
+    ("ArrivalConfig", "fingerprint"),
 ];
 
 pub fn run(ws: &Workspace) -> Vec<Finding> {

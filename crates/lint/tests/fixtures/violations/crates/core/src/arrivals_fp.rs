@@ -1,0 +1,11 @@
+//! Violation fixture: `queue_capacity` never reaches the fingerprint.
+
+pub struct ArrivalConfig {
+    pub load_milli: u64,
+    pub seed: u64,
+    pub queue_capacity: Option<u64>,
+}
+
+pub fn fingerprint(a: &ArrivalConfig) -> u64 {
+    a.load_milli.wrapping_mul(31) ^ a.seed
+}

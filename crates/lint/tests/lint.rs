@@ -49,6 +49,8 @@ fn violation_fixtures_are_flagged_at_exact_lines() {
     // fingerprint-coverage: the uncovered field's declaration line.
     let fp = expect_at(&f, "fingerprint-coverage", "mpsoc/src/config_fp.rs", 5);
     assert!(fp.message.contains("burst_len"), "{fp}");
+    let afp = expect_at(&f, "fingerprint-coverage", "core/src/arrivals_fp.rs", 6);
+    assert!(afp.message.contains("queue_capacity"), "{afp}");
 
     // lock-order: the stripe acquire that reaches the tracker, plus the
     // unregistered receiver.
@@ -77,7 +79,7 @@ fn violation_fixtures_are_flagged_at_exact_lines() {
     assert!(no_reason.message.contains("reason"), "{no_reason}");
 
     assert!(f.iter().all(|x| x.severity == Severity::Error));
-    assert_eq!(f.len(), 12, "unexpected extra findings:\n{f:#?}");
+    assert_eq!(f.len(), 13, "unexpected extra findings:\n{f:#?}");
 }
 
 #[test]

@@ -338,6 +338,9 @@ fn execute_run(
     if let Some(d) = req.deadline.or(default_deadline) {
         exp = exp.with_deadline_cycles(d);
     }
+    if let Some(a) = req.arrivals {
+        exp = exp.with_arrivals(a);
+    }
     match exp.run(req.policy) {
         Ok(r) => {
             let mut fields = vec![
@@ -345,6 +348,13 @@ fn execute_run(
                 ("policy", req.policy.abbrev().to_ascii_lowercase()),
             ];
             fields.extend(result_fields(&r));
+            if let Some(m) = &r.arrivals {
+                fields.push(("arrived", m.completed.to_string()));
+                fields.push(("queue_peak", m.queue_depth_peak.to_string()));
+                fields.push(("sojourn_p50", m.sojourn.p50.to_string()));
+                fields.push(("sojourn_p99", m.sojourn.p99.to_string()));
+                fields.push(("queueing_p99", m.queueing.p99.to_string()));
+            }
             Response::ok(&req.id, fields)
         }
         Err(e) => Response::from_core_error(&req.id, &e),

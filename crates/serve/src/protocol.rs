@@ -15,6 +15,7 @@
 //! run id=X app=NAME scale=SCALE policy=rs|rrs|ls|lsm
 //!     [cores=N] [quantum=CYCLES] [seed=N]
 //!     [bus=fcfs:OCC|windowed:OCC:WINDOW] [deadline=CYCLES]
+//!     [arrivals=poisson|burst|diurnal:LOAD:SEED[:QCAP]]
 //! replay id=X file=PATH policy=rs|rrs|ls
 //!     [cores=N] [quantum=CYCLES] [seed=N] [deadline=CYCLES]
 //! ```
@@ -35,7 +36,7 @@
 
 use std::fmt;
 
-use lams_core::{Error as CoreError, PolicyKind};
+use lams_core::{ArrivalConfig, Error as CoreError, PolicyKind};
 use lams_mpsoc::BusConfig;
 use lams_workloads::Scale;
 
@@ -95,6 +96,10 @@ pub struct RunRequest {
     /// Per-request simulated-cycle budget; the server's default applies
     /// when absent.
     pub deadline: Option<u64>,
+    /// Optional open-system arrival stream
+    /// (`SHAPE:LOAD:SEED[:QCAP]`, e.g. `poisson:0.8:42`); batch
+    /// semantics when absent.
+    pub arrivals: Option<ArrivalConfig>,
 }
 
 /// A `replay` request: re-run a recorded `.ltr` bundle.
@@ -131,6 +136,9 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The run exceeded its simulated-cycle budget.
     DeadlineExceeded,
+    /// An open-system run's bounded ready queue overflowed (offered
+    /// load exceeded service capacity past `QCAP`).
+    QueueSaturated,
     /// The job panicked; the worker survived.
     JobPanicked,
     /// The policy stalled the engine (contract violation).
@@ -150,6 +158,7 @@ impl ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::QueueSaturated => "queue_saturated",
             ErrorCode::JobPanicked => "job_panicked",
             ErrorCode::EngineStalled => "engine_stalled",
             ErrorCode::BadTrace => "bad_trace",
@@ -217,6 +226,7 @@ impl Response {
     pub fn from_core_error(id: &str, e: &CoreError) -> Self {
         let code = match e {
             CoreError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
+            CoreError::QueueSaturated { .. } => ErrorCode::QueueSaturated,
             CoreError::JobPanicked { .. } => ErrorCode::JobPanicked,
             CoreError::EngineStalled { .. } => ErrorCode::EngineStalled,
             CoreError::Workload(_) | CoreError::Graph(_) => ErrorCode::BadRequest,
@@ -427,6 +437,12 @@ impl Request {
                             .ok_or_else(|| ParseError::new(&id, format!("invalid bus '{v}'")))?,
                     ),
                 };
+                let arrivals = match fields.take("arrivals") {
+                    None => None,
+                    Some(v) => Some(ArrivalConfig::parse(v).map_err(|e| {
+                        ParseError::new(&id, format!("invalid arrivals '{v}': {e}"))
+                    })?),
+                };
                 Request::Run(RunRequest {
                     id,
                     app,
@@ -437,6 +453,7 @@ impl Request {
                     seed: fields.take_parsed("seed")?,
                     bus,
                     deadline: fields.take_parsed("deadline")?,
+                    arrivals,
                 })
             }
             "replay" => {
@@ -497,7 +514,7 @@ mod tests {
     #[test]
     fn run_requests_parse_fully() {
         let r = Request::parse(
-            "run id=7 app=shape scale=tiny policy=ls cores=4 quantum=500 seed=9 bus=fcfs:20 deadline=100000",
+            "run id=7 app=shape scale=tiny policy=ls cores=4 quantum=500 seed=9 bus=fcfs:20 deadline=100000 arrivals=poisson:0.8:42:64",
         )
         .unwrap()
         .unwrap();
@@ -513,6 +530,10 @@ mod tests {
         assert_eq!(r.seed, Some(9));
         assert_eq!(r.bus, Some(BusConfig::fcfs(20)));
         assert_eq!(r.deadline, Some(100_000));
+        assert_eq!(
+            r.arrivals,
+            Some(ArrivalConfig::poisson(800, 42).with_queue_capacity(64))
+        );
     }
 
     #[test]
@@ -568,6 +589,19 @@ mod tests {
         // lsm replay is rejected up front.
         let e = Request::parse("replay id=1 file=x.ltr policy=lsm").unwrap_err();
         assert!(e.msg.contains("cannot replay"), "{}", e.msg);
+        // Malformed arrival streams are typed bad_request, not panics.
+        for bad in [
+            "arrivals=poisson",
+            "arrivals=poisson:0.8",
+            "arrivals=gauss:0.8:1",
+            "arrivals=poisson:-1:1",
+            "arrivals=poisson:0.8:1:0x10",
+            "arrivals=poisson:0.8:1:2:3",
+        ] {
+            let e = Request::parse(&format!("run id=1 app=shape scale=tiny policy=rs {bad}"))
+                .unwrap_err();
+            assert!(e.msg.contains("invalid arrivals"), "{bad}: {}", e.msg);
+        }
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! succeed) loudly and predictably.
 
 use lams::core::{
-    execute, EngineConfig, Error, Experiment, Policy, PolicyKind, RandomPolicy, SharingMatrix,
+    execute, ArrivalConfig, EngineConfig, Error, Experiment, Policy, PolicyKind, RandomPolicy,
+    SharingMatrix,
 };
 use lams::layout::Layout;
 use lams::layout::{ArrayDecl, ArrayTable};
@@ -210,6 +211,7 @@ fn quantum_override_is_honoured() {
         quantum_override: Some(100),
         trace_mode: lams::core::TraceMode::default(),
         max_cycles: None,
+        arrivals: None,
     };
     let r = execute(&w, &layout, &mut p, cfg).unwrap();
     // The single process takes ~900 cycles of work, so an enforced
@@ -289,6 +291,86 @@ fn experiment_deadline_threads_through_every_policy() {
 }
 
 #[test]
+fn deadline_and_arrivals_compose_in_both_orders() {
+    // Ordering 1: the open-system run fits its budget — the deadline is
+    // invisible and the result is bit-identical to the unbounded run
+    // (arrival metrics included, via the Debug compare).
+    let app = lams::workloads::suite::shape(lams::workloads::Scale::Tiny);
+    let arrivals = ArrivalConfig::poisson(800, 42);
+    let free = Experiment::isolated(&app, MachineConfig::paper_default())
+        .with_arrivals(arrivals)
+        .run(PolicyKind::RoundRobin)
+        .unwrap();
+    assert!(free.arrivals.is_some(), "open run must report metrics");
+    let bounded = Experiment::isolated(&app, MachineConfig::paper_default())
+        .with_arrivals(arrivals)
+        .with_deadline_cycles(free.makespan_cycles)
+        .run(PolicyKind::RoundRobin)
+        .unwrap();
+    assert_eq!(format!("{bounded:?}"), format!("{free:?}"));
+    // One cycle short fails, typed.
+    let short = Experiment::isolated(&app, MachineConfig::paper_default())
+        .with_arrivals(arrivals)
+        .with_deadline_cycles(free.makespan_cycles - 1)
+        .run(PolicyKind::RoundRobin);
+    assert!(matches!(short, Err(Error::DeadlineExceeded { .. })));
+
+    // Ordering 2: the *stream* outlives the budget — at a trickle load
+    // the first arrivals land far past any tight deadline, so the run
+    // must fail cleanly on the pending-arrival event (no panic, no
+    // index into a process that never arrived, no hang on an engine
+    // whose cores are all idle).
+    let err = Experiment::isolated(&app, MachineConfig::paper_default())
+        .with_arrivals(ArrivalConfig::poisson(1, 42))
+        .with_deadline_cycles(10)
+        .run(PolicyKind::RoundRobin)
+        .unwrap_err();
+    match err {
+        Error::DeadlineExceeded {
+            budget_cycles,
+            elapsed_cycles,
+        } => {
+            assert_eq!(budget_cycles, 10);
+            assert!(elapsed_cycles > budget_cycles);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn queue_saturation_sheds_typed_and_deterministically() {
+    // Fourfold overload against a 1-deep admission queue: the run must
+    // shed with the typed error, and every repeat must shed at the
+    // same depth and cycle — overload handling is as deterministic as
+    // the simulation itself.
+    let mix = lams::workloads::suite::mix(4, lams::workloads::Scale::Tiny);
+    let exp = Experiment::concurrent(&mix, MachineConfig::paper_default())
+        .with_arrivals(ArrivalConfig::poisson(4000, 7).with_queue_capacity(1));
+    let reference = match exp.run(PolicyKind::RoundRobin) {
+        Err(Error::QueueSaturated {
+            capacity,
+            depth,
+            at_cycle,
+        }) => {
+            assert_eq!(capacity, 1);
+            assert!(depth > 1, "shed depth must exceed the capacity");
+            (capacity, depth, at_cycle)
+        }
+        other => panic!("expected QueueSaturated, got {other:?}"),
+    };
+    for _ in 0..3 {
+        match exp.run(PolicyKind::RoundRobin) {
+            Err(Error::QueueSaturated {
+                capacity,
+                depth,
+                at_cycle,
+            }) => assert_eq!((capacity, depth, at_cycle), reference),
+            other => panic!("expected QueueSaturated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn malformed_service_requests_are_typed_errors_never_panics() {
     // The daemon's parser must answer every hostile line with a typed
     // error (or a recognised request) — no panic, no abort.
@@ -308,6 +390,12 @@ fn malformed_service_requests_are_typed_errors_never_panics() {
         "run id=1 app=shape scale=tiny policy=rs deadline=-3",
         "run id=1 app=shape scale=tiny policy=rs bogus_key=1",
         "run id=1 app=shape scale=tiny policy=rs stray-token",
+        "run id=1 app=shape scale=tiny policy=rs arrivals=",
+        "run id=1 app=shape scale=tiny policy=rs arrivals=poisson",
+        "run id=1 app=shape scale=tiny policy=rs arrivals=gauss:0.8:1",
+        "run id=1 app=shape scale=tiny policy=rs arrivals=poisson:0:1",
+        "run id=1 app=shape scale=tiny policy=rs arrivals=poisson:0.8:1:2:3",
+        "run id=1 app=shape scale=tiny policy=rs arrivals=poisson:0.8:1 arrivals=poisson:0.8:1",
         "replay id=1 policy=rs",
         "replay id=1 file=/tmp/x.ltr policy=lsm",
         "warp id=1 speed=9",
